@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation studies of the machine-model design choices the paper
+ * makes (and in two cases explicitly discusses):
+ *
+ *  1. out-of-order vs in-order conditional-branch execution — the
+ *     paper: "branch prediction accuracy did improve somewhat with
+ *     in-order execution of conditional branches, [but] at the
+ *     expense of a notable decrease in the commit IPC.  Hence, we
+ *     allow branches to execute out of order."
+ *  2. speculative (insert-time) vs execute-time global-history
+ *     update — the paper updates speculatively and repairs on
+ *     mispredicts so fetch can exploit already-identified patterns.
+ *  3. store-to-load forwarding from the non-merging store buffer
+ *     on/off.
+ *
+ * Also prints mean register lifetimes under both exception models,
+ * quantifying the paper's Section 3.2 sentence: "under the imprecise
+ * model, on average, registers are live for shorter amounts of time."
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace drsim;
+using namespace drsim::bench;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    void (*apply)(CoreConfig &);
+};
+
+const Variant kVariants[] = {
+    {"baseline (paper model)", [](CoreConfig &) {}},
+    {"in-order branches",
+     [](CoreConfig &c) { c.inOrderBranches = true; }},
+    {"execute-time bpred history",
+     [](CoreConfig &c) { c.speculativeHistoryUpdate = false; }},
+    {"no store->load forwarding",
+     [](CoreConfig &c) { c.storeToLoadForwarding = false; }},
+    {"split dispatch queues",
+     [](CoreConfig &c) { c.splitDispatchQueues = true; }},
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablations: machine-model design choices "
+           "(paper Sections 2-3)");
+    const int scale = suiteScale();
+    const std::uint64_t cap = maxCommitted(0);
+    const auto suite = buildSpec92Suite(scale);
+
+    std::printf("\n4-way issue, DQ=32, 128 registers, lockup-free "
+                "cache\n");
+    std::printf("%-28s %7s %7s %9s\n", "variant", "issIPC", "cmtIPC",
+                "mispred%");
+    for (const Variant &v : kVariants) {
+        CoreConfig cfg = paperConfig(4, 128);
+        v.apply(cfg);
+        cfg.maxCommitted = cap;
+        const SuiteResult res = runSuite(cfg, suite);
+        double mispred = 0.0;
+        for (const auto &r : res.runs())
+            mispred += r.mispredictRate();
+        mispred /= double(res.runs().size());
+        std::printf("%-28s %7.2f %7.2f %8.1f%%\n", v.name,
+                    res.avgIssueIpc(), res.avgCommitIpc(),
+                    100.0 * mispred);
+    }
+    std::printf("expected: in-order branches trade prediction "
+                "accuracy against IPC (the paper kept\nout-of-order "
+                "execution); execute-time history raises "
+                "mispredict%%; splitting the\nqueue 2:1:1 costs IPC "
+                "on unbalanced mixes (the paper kept one unified "
+                "queue).\n");
+
+    // Register lifetimes under the two exception models.
+    std::printf("\nmean integer-register lifetime (cycles from "
+                "allocation to free), 80 registers:\n");
+    std::printf("%-10s %10s %10s\n", "bench", "precise", "imprecise");
+    for (const auto &w : suite) {
+        double mean[2];
+        int m = 0;
+        for (const auto model : {ExceptionModel::Precise,
+                                 ExceptionModel::Imprecise}) {
+            CoreConfig cfg = paperConfig(4, 80, model);
+            cfg.maxCommitted = cap;
+            mean[m++] =
+                simulate(cfg, w).lifetime[int(RegClass::Int)].mean();
+        }
+        std::printf("%-10s %10.1f %10.1f\n", w.spec->name.c_str(),
+                    mean[0], mean[1]);
+    }
+    std::printf("expected: imprecise lifetimes shorter everywhere "
+                "(paper Section 3.2).\n");
+    return 0;
+}

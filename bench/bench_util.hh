@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction harnesses.
+ *
+ * Every harness accepts two environment variables so run length can be
+ * traded against fidelity:
+ *   DRSIM_SCALE          workload scale (default kDefaultSuiteScale;
+ *                        one unit is roughly 10k committed insts)
+ *   DRSIM_MAX_COMMITTED  per-run committed-instruction cap
+ *                        (default per harness; 0 = run to halt)
+ */
+
+#ifndef DRSIM_BENCH_BENCH_UTIL_HH
+#define DRSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace drsim {
+namespace bench {
+
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+inline int
+suiteScale()
+{
+    return int(envU64("DRSIM_SCALE", kDefaultSuiteScale));
+}
+
+inline std::uint64_t
+maxCommitted(std::uint64_t fallback)
+{
+    return envU64("DRSIM_MAX_COMMITTED", fallback);
+}
+
+/**
+ * The paper's machine configuration (Figure 2) for a given issue
+ * width: the dispatch queue defaults to the paper's cost-effective
+ * size (32 entries at 4-way, 64 at 8-way).
+ */
+inline CoreConfig
+paperConfig(int issue_width, int num_regs,
+            ExceptionModel model = ExceptionModel::Precise,
+            CacheKind cache = CacheKind::LockupFree)
+{
+    CoreConfig cfg;
+    cfg.issueWidth = issue_width;
+    cfg.dqSize = issue_width == 4 ? 32 : 64;
+    cfg.numPhysRegs = num_regs;
+    cfg.exceptionModel = model;
+    cfg.cacheKind = cache;
+    return cfg;
+}
+
+inline void
+banner(const char *title)
+{
+    std::printf("\n================================================="
+                "=============\n%s\n"
+                "=================================================="
+                "============\n",
+                title);
+}
+
+} // namespace bench
+} // namespace drsim
+
+#endif // DRSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Writing your own workload: build a program with ProgramBuilder,
+ * check it functionally with the Emulator, then put it through the
+ * timing simulator under both exception models.
+ *
+ * The kernel is a little histogram builder: stream a buffer of
+ * pseudo-random bytes, bump per-bucket counters, and branch on a
+ * data-dependent "rare value" test — enough structure to exercise
+ * loads, stores, renaming pressure, and the branch predictor.
+ */
+
+#include <cstdio>
+
+#include "common/random.hh"
+#include "core/processor.hh"
+#include "workloads/builder.hh"
+#include "workloads/emulator.hh"
+
+namespace {
+
+using namespace drsim;
+
+Program
+makeHistogram(int items)
+{
+    ProgramBuilder b("histogram");
+    Rng rng(42);
+
+    const Addr data = b.allocWords(4096);   // 32 KB of input
+    const Addr buckets = b.allocWords(256); // 2 KB of counters
+    for (int i = 0; i < 4096; ++i)
+        b.initWord(data + Addr(i) * 8, rng.next());
+
+    const RegId pd = intReg(1);
+    const RegId nb = intReg(2);
+    const RegId count = intReg(3);
+    const RegId v = intReg(4);
+    const RegId idx = intReg(5);
+    const RegId baddr = intReg(6);
+    const RegId c = intReg(7);
+    const RegId rare = intReg(8);
+    const RegId t0 = intReg(9);
+
+    b.li(pd, std::int64_t(data));
+    b.li(nb, std::int64_t(buckets));
+    b.li(count, items);
+    b.li(rare, 0);
+
+    const auto top = b.here();
+    const auto notRare = b.newLabel();
+    b.andi(t0, count, 4095);
+    b.slli(t0, t0, 3);
+    b.add(t0, t0, pd);
+    b.ldq(v, t0, 0);
+    b.andi(idx, v, 255);
+    b.slli(baddr, idx, 3);
+    b.add(baddr, baddr, nb);
+    b.ldq(c, baddr, 0);
+    b.addi(c, c, 1);
+    b.stq(c, baddr, 0);
+    // Rare-value test: bucket index < 8 (~3% taken).
+    b.cmplti(t0, idx, 8);
+    b.beq(t0, notRare);
+    b.addi(rare, rare, 1);
+    b.bind(notRare);
+    b.subi(count, count, 1);
+    b.bne(count, top);
+    b.halt();
+    return b.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace drsim;
+
+    const int items = 20000;
+    const Program prog = makeHistogram(items);
+    std::printf("built '%s': %zu static instructions\n",
+                prog.name().c_str(), prog.numInsts());
+
+    // 1. Functional check with the architectural emulator.
+    Emulator emu(prog);
+    while (!emu.fetchBlocked())
+        emu.stepArch();
+    std::printf("functional run: %llu instructions, rare count = "
+                "%llu\n",
+                (unsigned long long)emu.stepsExecuted(),
+                (unsigned long long)emu.intRegBits(8));
+
+    // 2. Timing simulation under both exception models.
+    for (const auto model :
+         {ExceptionModel::Precise, ExceptionModel::Imprecise}) {
+        CoreConfig cfg;
+        cfg.issueWidth = 4;
+        cfg.dqSize = 32;
+        cfg.numPhysRegs = 48; // tight: the models will differ
+        cfg.exceptionModel = model;
+        Processor proc(cfg, prog);
+        proc.run();
+        std::printf("%-9s: %8llu cycles, IPC %.2f, no-free-reg "
+                    "%4.1f%%, p90 live int regs %llu\n",
+                    exceptionModelName(model),
+                    (unsigned long long)proc.stats().cycles,
+                    proc.stats().commitIpc(),
+                    100.0 * double(proc.stats().noFreeRegCycles) /
+                        double(proc.stats().cycles),
+                    (unsigned long long)
+                        proc.stats().live[0][3].percentile(0.9));
+        if (proc.stats().committed != emu.stepsExecuted()) {
+            std::printf("MISMATCH vs functional run!\n");
+            return 1;
+        }
+    }
+    std::printf("\nboth timing runs committed exactly the functional "
+                "instruction stream.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: simulate one SPEC92-like workload on the paper's
+ * baseline 4-way machine and print the headline statistics.
+ *
+ *   ./quickstart [workload] [scale]
+ *
+ * Defaults to compress at a small scale.  This is the minimal tour of
+ * the public API: build a workload, configure the machine, run, read
+ * the results.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "timing/regfile_timing.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace drsim;
+
+    const std::string name = argc > 1 ? argv[1] : "compress";
+    const int scale = argc > 2 ? std::atoi(argv[2]) : 10;
+
+    // The paper's baseline 4-way machine: 32-entry dispatch queue,
+    // lockup-free 64 KB 2-way data cache, precise exceptions, and a
+    // large register file (so nothing stalls for registers).
+    CoreConfig config;
+    config.issueWidth = 4;
+    config.dqSize = 32;
+    config.numPhysRegs = 256;
+    config.exceptionModel = ExceptionModel::Precise;
+    config.cacheKind = CacheKind::LockupFree;
+
+    const Workload workload = buildWorkload(name, scale);
+    std::printf("simulating '%s' (scale %d, %zu static insts)...\n",
+                name.c_str(), scale, workload.program.numInsts());
+
+    const SimResult res = simulate(config, workload);
+
+    std::printf("\n=== %s on a 4-way, DQ=32, %d-register machine ===\n",
+                name.c_str(), config.numPhysRegs);
+    std::printf("cycles            %12llu\n",
+                (unsigned long long)res.proc.cycles);
+    std::printf("committed insts   %12llu\n",
+                (unsigned long long)res.proc.committed);
+    std::printf("executed insts    %12llu\n",
+                (unsigned long long)res.proc.executed);
+    std::printf("issue IPC         %12.2f\n", res.issueIpc());
+    std::printf("commit IPC        %12.2f\n", res.commitIpc());
+    std::printf("load miss rate    %11.1f%%\n",
+                100.0 * res.loadMissRate);
+    std::printf("cbr mispredict    %11.1f%%\n",
+                100.0 * res.mispredictRate());
+    std::printf("no-free-reg time  %11.1f%%\n", res.noFreeRegPct());
+
+    // Live-register picture (90th percentile, paper Section 3.1).
+    const auto &live = res.proc.live;
+    std::printf("90th-pct live int regs  %6llu\n",
+                (unsigned long long)live[0][3].percentile(0.9));
+    std::printf("90th-pct live fp regs   %6llu\n",
+                (unsigned long long)live[1][3].percentile(0.9));
+
+    // Register-file timing for this configuration (paper Section 3.4).
+    const auto geom =
+        intRegFileGeometry(config.issueWidth, config.numPhysRegs);
+    const auto timing = regFileTiming(geom);
+    std::printf("int RF cycle time %11.3f ns -> %.2f BIPS estimate\n",
+                timing.cycleNs,
+                bipsEstimate(res.commitIpc(), timing.cycleNs));
+    return 0;
+}

@@ -1,0 +1,53 @@
+#include "bpred/mcfarling.hh"
+
+namespace drsim {
+
+CombinedPredictor::CombinedPredictor()
+{
+    // Weakly not-taken counters; neutral selector.
+    bimodal_.fill(1);
+    global_.fill(1);
+    selector_.fill(1);
+}
+
+bool
+CombinedPredictor::predict(Addr pc) const
+{
+    const bool bi = counterTaken(bimodal_[pcIndex(pc)]);
+    const bool gl = counterTaken(global_[gshareIndex(pc, history_)]);
+    const bool use_global = counterTaken(selector_[pcIndex(pc)]);
+    return use_global ? gl : bi;
+}
+
+bool
+CombinedPredictor::predictAndUpdateHistory(Addr pc)
+{
+    const bool taken = predict(pc);
+    history_ = ((history_ << 1) | std::uint32_t(taken)) & kHistoryMask;
+    return taken;
+}
+
+void
+CombinedPredictor::update(Addr pc, std::uint32_t history_used,
+                          bool taken)
+{
+    std::uint8_t &bi = bimodal_[pcIndex(pc)];
+    std::uint8_t &gl = global_[gshareIndex(pc, history_used)];
+    const bool bi_correct = counterTaken(bi) == taken;
+    const bool gl_correct = counterTaken(gl) == taken;
+    // The selector trains toward whichever component was right.
+    if (bi_correct != gl_correct)
+        bump(selector_[pcIndex(pc)], gl_correct);
+    bump(bi, taken);
+    bump(gl, taken);
+}
+
+void
+CombinedPredictor::repairHistory(std::uint32_t history_before,
+                                 bool taken)
+{
+    history_ = ((history_before << 1) | std::uint32_t(taken)) &
+               kHistoryMask;
+}
+
+} // namespace drsim

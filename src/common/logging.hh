@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 idiom.
+ *
+ * panic()  — an internal simulator invariant was violated; aborts so the
+ *            failure can be debugged.
+ * fatal()  — the user asked for something the simulator cannot do (bad
+ *            configuration, inconsistent parameters); exits cleanly.
+ * warn()   — something works but deserves the user's attention.
+ * inform() — plain status output.
+ */
+
+#ifndef DRSIM_COMMON_LOGGING_HH
+#define DRSIM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace drsim {
+
+/** Thrown by fatal() so callers (and tests) can intercept user errors. */
+class FatalError : public std::exception
+{
+  public:
+    explicit FatalError(std::string what) : what_(std::move(what)) {}
+    const char *what() const noexcept override { return what_.c_str(); }
+
+  private:
+    std::string what_;
+};
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal ostream-based message formatter. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort on a violated internal invariant.  Usage: panic("x=", x). */
+#define DRSIM_PANIC(...) \
+    ::drsim::detail::panicImpl(__FILE__, __LINE__, \
+                               ::drsim::detail::format(__VA_ARGS__))
+
+/** Abort (by exception) on a user configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::format(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::format(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::format(std::forward<Args>(args)...));
+}
+
+} // namespace drsim
+
+#endif // DRSIM_COMMON_LOGGING_HH

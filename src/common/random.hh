@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload data.
+ *
+ * Every source of randomness in drsim flows through this generator with
+ * an explicit seed, so each simulation is exactly reproducible.
+ */
+
+#ifndef DRSIM_COMMON_RANDOM_HH
+#define DRSIM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace drsim {
+
+/**
+ * xorshift64* generator.  Small, fast, and good enough for driving
+ * synthetic workload data (branch-outcome words, hash keys, etc.).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). Requires bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial that succeeds with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace drsim
+
+#endif // DRSIM_COMMON_RANDOM_HH

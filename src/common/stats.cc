@@ -1,0 +1,94 @@
+#include "stats.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+
+namespace drsim {
+
+std::vector<double>
+Histogram::normalized() const
+{
+    std::vector<double> density(counts_.size(), 0.0);
+    if (total_ == 0)
+        return density;
+    const double inv = 1.0 / static_cast<double>(total_);
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        density[i] = static_cast<double>(counts_[i]) * inv;
+    return density;
+}
+
+std::uint64_t
+Histogram::percentile(double fraction) const
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        fatal("percentile fraction ", fraction, " outside (0, 1]");
+    if (total_ == 0)
+        return 0;
+    const double target = fraction * static_cast<double>(total_);
+    double running = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        running += static_cast<double>(counts_[i]);
+        if (running >= target)
+            return i;
+    }
+    return counts_.empty() ? 0 : counts_.size() - 1;
+}
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        sum += static_cast<double>(i) * static_cast<double>(counts_[i]);
+    return sum / static_cast<double>(total_);
+}
+
+std::vector<double>
+averageDensities(const std::vector<std::vector<double>> &densities)
+{
+    std::size_t len = 0;
+    for (const auto &d : densities)
+        len = std::max(len, d.size());
+    std::vector<double> avg(len, 0.0);
+    if (densities.empty())
+        return avg;
+    for (const auto &d : densities)
+        for (std::size_t i = 0; i < d.size(); ++i)
+            avg[i] += d[i];
+    const double inv = 1.0 / static_cast<double>(densities.size());
+    for (double &v : avg)
+        v *= inv;
+    return avg;
+}
+
+std::uint64_t
+densityPercentile(const std::vector<double> &density, double fraction)
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        fatal("percentile fraction ", fraction, " outside (0, 1]");
+    double running = 0.0;
+    for (std::size_t i = 0; i < density.size(); ++i) {
+        running += density[i];
+        // Tiny epsilon absorbs float rounding when fraction == 1.0.
+        if (running + 1e-12 >= fraction)
+            return i;
+    }
+    return density.empty() ? 0 : density.size() - 1;
+}
+
+std::vector<double>
+coverageCurve(const std::vector<double> &density)
+{
+    std::vector<double> curve(density.size(), 0.0);
+    double running = 0.0;
+    for (std::size_t i = 0; i < density.size(); ++i) {
+        running += density[i];
+        curve[i] = std::min(running, 1.0);
+    }
+    return curve;
+}
+
+} // namespace drsim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared by every drsim module.
+ */
+
+#ifndef DRSIM_COMMON_TYPES_HH
+#define DRSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace drsim {
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/**
+ * Program-order sequence number of a dynamic instruction.
+ *
+ * Sequence numbers are contiguous within the in-flight window; numbers
+ * belonging to squashed wrong-path instructions are reused by the
+ * instructions fetched down the correct path, so comparisons between
+ * live sequence numbers always reflect program order.
+ */
+using InstSeqNum = std::uint64_t;
+
+/**
+ * Globally unique dynamic-instruction identifier.  Unlike InstSeqNum,
+ * a Uid is never reused, which lets deferred events detect that the
+ * instruction they referenced has been squashed and replaced.
+ */
+using InstUid = std::uint64_t;
+
+/** Index of a physical register within one register file. */
+using PhysRegIndex = std::uint16_t;
+
+/** Sentinel for "no physical register". */
+constexpr PhysRegIndex kInvalidPhysReg = 0xffff;
+
+/** Sentinel for "no cycle scheduled yet". */
+constexpr Cycle kInvalidCycle = ~Cycle{0};
+
+} // namespace drsim
+
+#endif // DRSIM_COMMON_TYPES_HH

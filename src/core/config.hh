@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Machine configuration (paper Section 2).
+ */
+
+#ifndef DRSIM_CORE_CONFIG_HH
+#define DRSIM_CORE_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "memory/cache.hh"
+
+namespace drsim {
+
+/** Register-freeing discipline (paper Section 2.2). */
+enum class ExceptionModel : std::uint8_t {
+    /** Free a mapping when its retiring writer commits. */
+    Precise,
+    /** Free a mapping as soon as the writer and all users have
+     *  completed and a later writer of the same virtual register has
+     *  completed with all of its preceding branches complete. */
+    Imprecise,
+};
+
+const char *exceptionModelName(ExceptionModel model);
+
+struct CoreConfig
+{
+    /** Maximum instructions issued per cycle (4 or 8 in the paper). */
+    int issueWidth = 4;
+
+    /** Dispatch-queue entries (paper sweeps 8..256). */
+    int dqSize = 32;
+
+    /** Physical registers per file (equal integer and FP counts). */
+    int numPhysRegs = 2048;
+
+    ExceptionModel exceptionModel = ExceptionModel::Precise;
+
+    /** Data-cache organization. */
+    CacheKind cacheKind = CacheKind::LockupFree;
+    CacheConfig dcache;
+    CacheConfig icache;
+    /** Model every instruction fetch as a hit (the paper holds the
+     *  I-cache constant with miss rates under 1%; useful for
+     *  microbenchmarks whose straight-line code would otherwise be
+     *  dominated by cold I-misses). */
+    bool perfectICache = false;
+
+    /// @name Ablation knobs (paper-adjacent design alternatives)
+    /// @{
+    /** Execute conditional branches in program order.  The paper
+     *  reports trying this: prediction accuracy improves somewhat but
+     *  commit IPC drops notably, so its model (and our default) lets
+     *  branches execute out of order. */
+    bool inOrderBranches = false;
+
+    /** Update the predictor's global-history register speculatively at
+     *  dispatch-queue insert with repair on mispredict (the paper's
+     *  scheme, default) vs. only at branch execution. */
+    bool speculativeHistoryUpdate = true;
+
+    /** Allow loads to forward from an older, resolved, same-address
+     *  store in the non-merging store buffer (default).  When off, a
+     *  load waits until the matching store commits. */
+    bool storeToLoadForwarding = true;
+
+    /** Split the unified dispatch queue into per-class queues (as the
+     *  MIPS R10000 does: integer+control / floating-point / memory),
+     *  dividing dqSize 2:1:1 between them.  Insert stalls when the
+     *  *target* queue is full, so an unbalanced instruction mix
+     *  suffers head-of-line blocking the paper's single queue avoids
+     *  ("one queue is simpler", Section 1). */
+    bool splitDispatchQueues = false;
+    /// @}
+
+    /// @name Split-queue capacities (2:1:1 of dqSize)
+    /// @{
+    int intQueueSize() const { return (dqSize + 1) / 2; }
+    int fpQueueSize() const { return (dqSize + 3) / 4; }
+    int memQueueSize() const
+    { return dqSize - intQueueSize() - fpQueueSize(); }
+    /// @}
+
+    /** Stop after this many committed instructions (0 = run to halt). */
+    std::uint64_t maxCommitted = 0;
+
+    /** Watchdog: abort if no instruction commits for this many cycles
+     *  (0 disables). Catches machine deadlocks in testing. */
+    Cycle deadlockCycles = 200000;
+
+    /** If nonzero, re-derive the liveness counters from a full scan
+     *  every N cycles and panic on mismatch (testing aid). */
+    Cycle auditInterval = 0;
+
+    /** Collect per-cycle live-register histograms (small overhead). */
+    bool collectLiveHistograms = true;
+
+    /// @name Derived per-cycle limits (paper Section 2.1)
+    /// @{
+    /** Instructions inserted into the dispatch queue per cycle. */
+    int insertWidth() const { return issueWidth + issueWidth / 2; }
+    /** Instructions committed per cycle. */
+    int commitWidth() const { return 2 * issueWidth; }
+    int intIssueLimit() const { return issueWidth; }
+    int fpIssueLimit() const { return issueWidth / 2; }
+    int fpDivIssueLimit() const { return issueWidth / 4; }
+    int memIssueLimit() const { return issueWidth / 2; }
+    int ctrlIssueLimit() const { return issueWidth / 4; }
+    /** Unpipelined divide/sqrt units. */
+    int numFpDividers() const { return fpDivIssueLimit(); }
+    /// @}
+
+    void validate() const;
+};
+
+} // namespace drsim
+
+#endif // DRSIM_CORE_CONFIG_HH

@@ -1,0 +1,734 @@
+#include "core/processor.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace drsim {
+
+/** Per-cycle issue budgets (paper Section 2.1 instruction-word rules). */
+struct IssueBudget
+{
+    int total;
+    int intOps;
+    int fpOps;
+    int fpDiv;
+    int mem;
+    int ctrl;
+};
+
+Processor::Processor(const CoreConfig &config, const Program &program)
+    : Processor(config, &program, nullptr)
+{
+}
+
+Processor::Processor(const CoreConfig &config, Program &&program)
+    : Processor(config, nullptr,
+                std::make_unique<const Program>(std::move(program)))
+{
+}
+
+namespace {
+
+/** Validate before any member depends on the configuration. */
+const CoreConfig &
+validated(const CoreConfig &config)
+{
+    config.validate();
+    return config;
+}
+
+} // namespace
+
+Processor::Processor(const CoreConfig &config, const Program *external,
+                     std::unique_ptr<const Program> owned)
+    : config_(validated(config)),
+      ownedProgram_(std::move(owned)),
+      program_(external != nullptr ? *external : *ownedProgram_),
+      emu_(program_),
+      dcache_(config.cacheKind, config.dcache),
+      icache_(config.icache),
+      rename_(config.numPhysRegs, config.exceptionModel)
+{
+    // Completion events land at most hitLatency + missPenalty + 2
+    // cycles ahead (a merged load), or the longest divide latency.
+    const Cycle horizon =
+        std::max<Cycle>(config_.dcache.hitLatency +
+                            config_.dcache.missPenalty + 4,
+                        24);
+    ringSize_ = 1;
+    while (ringSize_ <= horizon)
+        ringSize_ <<= 1;
+    ring_.resize(ringSize_);
+    dividerBusyUntil_.assign(config_.numFpDividers(), 0);
+}
+
+void
+Processor::run()
+{
+    while (!done())
+        tick();
+}
+
+void
+Processor::stop(StopReason reason)
+{
+    if (stopReason_ == StopReason::Running)
+        stopReason_ = reason;
+}
+
+void
+Processor::tick()
+{
+    ++now_;
+    redirectedThisCycle_ = false;
+    rename_.beginCycle(now_);
+
+    commitStage();
+    if (!done()) {
+        completeStage();
+        issueStage();
+        insertStage();
+    }
+    sampleStats();
+
+    if (config_.auditInterval && now_ % config_.auditInterval == 0)
+        rename_.audit();
+
+    if (!done() && config_.deadlockCycles &&
+        now_ - lastCommitCycle_ > config_.deadlockCycles) {
+        DRSIM_PANIC("no commit for ", config_.deadlockCycles,
+                    " cycles (window=", window_.size(),
+                    " dq=", dq_.size(),
+                    " freeInt=", rename_.freeCount(RegClass::Int),
+                    " freeFp=", rename_.freeCount(RegClass::Fp), ")");
+    }
+}
+
+void
+Processor::commitStage()
+{
+    int budget = config_.commitWidth();
+    while (budget > 0 && !window_.empty()) {
+        DynInst &in = window_.front();
+        if (in.state != InstState::Completed)
+            break;
+        in.state = InstState::Committed;
+        --budget;
+        ++stats_.committed;
+        lastCommitCycle_ = now_;
+
+        if (in.isLoad())
+            ++stats_.committedLoads;
+        if (in.isStore()) {
+            if (!dcache_.storeCanCommit(now_)) {
+                // Finite write buffer full: the store (and everything
+                // behind it) waits — the stall the paper's free write
+                // buffer assumption removes.
+                in.state = InstState::Completed;
+                --stats_.committed;
+                ++budget;
+                ++stats_.writeBufferStallCycles;
+                break;
+            }
+            ++stats_.committedStores;
+            // The store's data leaves the non-merging buffer for the
+            // write buffer / cache only now that it is safe.
+            dcache_.storeCommit(in.effAddr, now_);
+            if (storeQueue_.empty() || storeQueue_.front() != in.seq)
+                DRSIM_PANIC("store queue out of order at commit");
+            storeQueue_.pop_front();
+            auto it = storeAddrMap_.find(in.effAddr);
+            if (it == storeAddrMap_.end() || it->second.empty() ||
+                it->second.front() != in.seq) {
+                DRSIM_PANIC("store address map out of sync at commit");
+            }
+            it->second.pop_front();
+            if (it->second.empty())
+                storeAddrMap_.erase(it);
+        }
+        if (in.isCondBranch())
+            ++stats_.committedCondBranches;
+        if (in.writesReg())
+            rename_.onCommitWriter(in.si->dest.cls, in.prevDest);
+        if (trace_ != nullptr)
+            traceLine(in, false);
+
+        const bool halt = in.si->isHalt();
+        window_.pop_front();
+        ++headSeq_;
+
+        if (halt)
+            stop(StopReason::Halted);
+        if (config_.maxCommitted &&
+            stats_.committed >= config_.maxCommitted) {
+            stop(StopReason::InstLimit);
+        }
+        if (done())
+            return;
+    }
+}
+
+bool
+Processor::branchesBeforeCompleted(InstSeqNum seq) const
+{
+    return uncompletedBranches_.empty() ||
+           *uncompletedBranches_.begin() > seq;
+}
+
+void
+Processor::drainKillers()
+{
+    const InstSeqNum min_branch = uncompletedBranches_.empty()
+                                      ? ~InstSeqNum{0}
+                                      : *uncompletedBranches_.begin();
+    while (!pendingKillers_.empty() &&
+           pendingKillers_.top().seq < min_branch) {
+        const PendingKiller k = pendingKillers_.top();
+        pendingKillers_.pop();
+        if (validInst(k.seq, k.uid))
+            rename_.kill(k.cls, k.vreg, k.seq);
+        // Squashed killers are skipped; committed killers cannot still
+        // be pending (their kill fired before commit was possible).
+    }
+}
+
+void
+Processor::completeStage()
+{
+    auto &bucket = ring_[now_ % ringSize_];
+    for (const CompletionEvent &ev : bucket) {
+        if (!validInst(ev.seq, ev.uid))
+            continue; // squashed while in flight
+        DynInst &in = inst(ev.seq);
+        if (in.state != InstState::Issued)
+            DRSIM_PANIC("completion of non-issued instruction");
+        in.state = InstState::Completed;
+        in.completeCycle = now_;
+
+        // Readers release their claim on source mappings.
+        if (in.physSrc1 != kInvalidPhysReg)
+            rename_.onUserDone(in.si->src1.cls, in.physSrc1);
+        if (in.physSrc2 != kInvalidPhysReg)
+            rename_.onUserDone(in.si->src2.cls, in.physSrc2);
+
+        if (in.writesReg()) {
+            rename_.onWriterComplete(in.si->dest.cls, in.physDest);
+            // Imprecise kill: older mappings of this virtual register
+            // die once every branch preceding this writer completed.
+            if (branchesBeforeCompleted(in.seq)) {
+                rename_.kill(in.si->dest.cls, in.si->dest.index,
+                             in.seq);
+            } else {
+                pendingKillers_.push({in.seq, in.uid, in.si->dest.cls,
+                                      in.si->dest.index});
+            }
+        }
+
+        if (in.isCondBranch()) {
+            uncompletedBranches_.erase(in.seq);
+            if (in.hasEmuCp) {
+                emu_.releaseCheckpoint(in.emuCp);
+                in.hasEmuCp = false;
+            }
+            drainKillers();
+        }
+    }
+    bucket.clear();
+}
+
+void
+Processor::scheduleCompletion(DynInst &in, Cycle when)
+{
+    if (when <= now_ || when - now_ >= ringSize_)
+        DRSIM_PANIC("completion ", when, " outside ring at ", now_);
+    ring_[when % ringSize_].push_back({in.uid, in.seq});
+}
+
+void
+Processor::finishIssue(DynInst &in, Cycle complete_at)
+{
+    in.state = InstState::Issued;
+    in.issueCycle = now_;
+    ++stats_.executed;
+    if (in.isLoad())
+        ++stats_.executedLoads;
+    if (in.isStore())
+        ++stats_.executedStores;
+    if (in.writesReg()) {
+        rename_.onIssueWriter(in.si->dest.cls, in.physDest);
+        rename_.setReady(in.si->dest.cls, in.physDest, complete_at);
+    }
+    scheduleCompletion(in, complete_at);
+
+    if (in.isCondBranch()) {
+        ++stats_.executedCondBranches;
+        unissuedBranches_.erase(in.seq);
+        // Counters train at execution, in execution order (paper 2.1).
+        pred_.update(in.pc, in.historyBefore, in.actualTaken);
+        if (!config_.speculativeHistoryUpdate)
+            pred_.shiftHistory(in.actualTaken);
+        if (in.mispredicted)
+            ++stats_.mispredictedBranches;
+    }
+}
+
+bool
+Processor::issueLoad(DynInst &in)
+{
+    // Dynamic memory disambiguation: the youngest older store to the
+    // same word either forwards (once resolved) or delays the load;
+    // stores to other addresses never delay it.
+    const auto it = storeAddrMap_.find(in.effAddr);
+    if (it != storeAddrMap_.end()) {
+        const auto &seqs = it->second;
+        const auto p =
+            std::lower_bound(seqs.begin(), seqs.end(), in.seq);
+        if (p != seqs.begin()) {
+            if (!config_.storeToLoadForwarding)
+                return false; // ablation: wait for the store's commit
+            const InstSeqNum store_seq = *(p - 1);
+            const DynInst &st = inst(store_seq);
+            const bool resolved = st.issueCycle != kInvalidCycle &&
+                                  st.issueCycle + 1 <= now_;
+            if (!resolved)
+                return false; // wait for the store to resolve
+            // Store-to-load forwarding from the non-merging buffer.
+            in.forwarded = true;
+            ++stats_.forwardedLoads;
+            finishIssue(in, now_ + dcache_.hitUseLatency());
+            return true;
+        }
+    }
+
+    if (!dcache_.loadCanIssue(now_))
+        return false; // lockup cache busy with a miss
+
+    const LoadResult res = dcache_.load(in.effAddr, now_, in.uid);
+    if (!res.accepted)
+        return false; // every MSHR in use; retry later
+    in.fetchId = res.fetchId;
+    in.cacheMiss = !res.hit;
+    finishIssue(in, res.readyCycle);
+    return true;
+}
+
+bool
+Processor::tryIssue(DynInst &in, IssueBudget &budget)
+{
+    // Operand readiness.
+    if (!rename_.isReady(in.si->src1.cls, in.physSrc1, now_) ||
+        !rename_.isReady(in.si->src2.cls, in.physSrc2, now_)) {
+        return false;
+    }
+
+    const OpClass cls = in.si->cls();
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::IntMult:
+        if (budget.intOps == 0)
+            return false;
+        finishIssue(in, now_ + opTraits(in.si->op).latency);
+        --budget.intOps;
+        break;
+
+      case OpClass::FpAdd:
+        if (budget.fpOps == 0)
+            return false;
+        finishIssue(in, now_ + opTraits(in.si->op).latency);
+        --budget.fpOps;
+        break;
+
+      case OpClass::FpDiv: {
+        if (budget.fpOps == 0 || budget.fpDiv == 0)
+            return false;
+        int unit = -1;
+        for (int u = 0; u < int(dividerBusyUntil_.size()); ++u) {
+            if (dividerBusyUntil_[u] <= now_) {
+                unit = u;
+                break;
+            }
+        }
+        if (unit < 0)
+            return false; // every unpipelined divider is busy
+        const int lat = opTraits(in.si->op).latency;
+        dividerBusyUntil_[unit] = now_ + lat;
+        in.divUnit = unit;
+        finishIssue(in, now_ + lat);
+        --budget.fpOps;
+        --budget.fpDiv;
+        break;
+      }
+
+      case OpClass::MemLoad:
+        if (budget.mem == 0)
+            return false;
+        if (!issueLoad(in))
+            return false;
+        --budget.mem;
+        break;
+
+      case OpClass::MemStore:
+        if (budget.mem == 0)
+            return false;
+        finishIssue(in, now_ + opTraits(in.si->op).latency);
+        --budget.mem;
+        break;
+
+      case OpClass::CtrlCond:
+        if (budget.ctrl == 0)
+            return false;
+        // Ablation: force conditional branches to execute in program
+        // order (paper Section 3: better prediction, worse IPC).
+        if (config_.inOrderBranches &&
+            !unissuedBranches_.empty() &&
+            *unissuedBranches_.begin() != in.seq) {
+            return false;
+        }
+        finishIssue(in, now_ + opTraits(in.si->op).latency);
+        --budget.ctrl;
+        break;
+
+      case OpClass::CtrlUncond:
+        if (budget.ctrl == 0)
+            return false;
+        finishIssue(in, now_ + opTraits(in.si->op).latency);
+        --budget.ctrl;
+        break;
+    }
+    --budget.total;
+    return true;
+}
+
+std::deque<InstSeqNum> &
+Processor::queueFor(const Instruction &si)
+{
+    if (!config_.splitDispatchQueues)
+        return dq_;
+    switch (si.cls()) {
+      case OpClass::MemLoad:
+      case OpClass::MemStore:
+        return dqMem_;
+      case OpClass::FpAdd:
+      case OpClass::FpDiv:
+        return dqFp_;
+      default:
+        return dq_; // integer and control
+    }
+}
+
+int
+Processor::queueCapacity(const Instruction &si) const
+{
+    if (!config_.splitDispatchQueues)
+        return config_.dqSize;
+    switch (si.cls()) {
+      case OpClass::MemLoad:
+      case OpClass::MemStore:
+        return config_.memQueueSize();
+      case OpClass::FpAdd:
+      case OpClass::FpDiv:
+        return config_.fpQueueSize();
+      default:
+        return config_.intQueueSize();
+    }
+}
+
+void
+Processor::issueStage()
+{
+    IssueBudget budget{config_.issueWidth, config_.intIssueLimit(),
+                       config_.fpIssueLimit(), config_.fpDivIssueLimit(),
+                       config_.memIssueLimit(), config_.ctrlIssueLimit()};
+
+    DynInst *recovery_branch = nullptr;
+
+    // Greedy oldest-first selection.  With split queues this is a
+    // seq-ordered merge across the three queues, so the policy stays
+    // "earliest in program order first" machine-wide.
+    std::deque<InstSeqNum> *queues[3] = {&dq_, &dqFp_, &dqMem_};
+    std::deque<InstSeqNum> keep[3];
+    std::size_t pos[3] = {0, 0, 0};
+    while (budget.total > 0) {
+        int best = -1;
+        for (int q = 0; q < 3; ++q) {
+            if (pos[q] < queues[q]->size() &&
+                (best < 0 ||
+                 (*queues[q])[pos[q]] < (*queues[best])[pos[best]])) {
+                best = q;
+            }
+        }
+        if (best < 0)
+            break;
+        const InstSeqNum seq = (*queues[best])[pos[best]];
+        ++pos[best];
+        DynInst &in = inst(seq);
+        if (!tryIssue(in, budget)) {
+            keep[best].push_back(seq);
+            continue;
+        }
+        if (in.isCondBranch() && in.mispredicted &&
+            recovery_branch == nullptr) {
+            recovery_branch = &in; // oldest mispredict this cycle
+        }
+    }
+    for (int q = 0; q < 3; ++q) {
+        for (; pos[q] < queues[q]->size(); ++pos[q])
+            keep[q].push_back((*queues[q])[pos[q]]);
+        queues[q]->swap(keep[q]);
+    }
+
+    if (recovery_branch != nullptr)
+        recover(*recovery_branch);
+}
+
+void
+Processor::traceLine(const DynInst &in, bool squashed)
+{
+    std::ostream &os = *trace_;
+    os << "seq=" << in.seq << " pc=0x" << std::hex << in.pc
+       << std::dec << " '" << disassemble(*in.si) << "' I@"
+       << in.insertCycle;
+    if (in.issueCycle != kInvalidCycle)
+        os << " X@" << in.issueCycle;
+    if (in.completeCycle != kInvalidCycle)
+        os << " C@" << in.completeCycle;
+    if (squashed) {
+        os << " SQUASHED@" << now_;
+    } else {
+        os << " R@" << now_;
+        if (in.isCondBranch() && in.mispredicted)
+            os << " MISPRED";
+        if (in.isLoad() && in.cacheMiss)
+            os << " MISS";
+        if (in.forwarded)
+            os << " FWD";
+    }
+    os << '\n';
+}
+
+void
+Processor::squashYoungest()
+{
+    DynInst &in = window_.back();
+    ++stats_.squashedInsts;
+    if (trace_ != nullptr)
+        traceLine(in, true);
+
+    if (in.isCondBranch()) {
+        if (!in.completed())
+            uncompletedBranches_.erase(in.seq);
+        unissuedBranches_.erase(in.seq);
+        if (in.hasEmuCp) {
+            emu_.releaseCheckpoint(in.emuCp);
+            in.hasEmuCp = false;
+        }
+    }
+
+    // Readers that never completed still hold user claims.
+    if (!in.completed()) {
+        if (in.physSrc1 != kInvalidPhysReg)
+            rename_.onUserDone(in.si->src1.cls, in.physSrc1);
+        if (in.physSrc2 != kInvalidPhysReg)
+            rename_.onUserDone(in.si->src2.cls, in.physSrc2);
+    }
+
+    if (in.isStore()) {
+        if (storeQueue_.empty() || storeQueue_.back() != in.seq)
+            DRSIM_PANIC("store queue out of order at squash");
+        storeQueue_.pop_back();
+        auto it = storeAddrMap_.find(in.effAddr);
+        if (it == storeAddrMap_.end() || it->second.empty() ||
+            it->second.back() != in.seq) {
+            DRSIM_PANIC("store address map out of sync at squash");
+        }
+        it->second.pop_back();
+        if (it->second.empty())
+            storeAddrMap_.erase(it);
+    }
+
+    if (in.isLoad() && in.fetchId >= 0)
+        dcache_.squashLoad(in.fetchId, in.uid, now_);
+
+    // An unpipelined divider working for a squashed divide frees up
+    // next cycle (paper Section 2.2).
+    if (in.divUnit >= 0 && dividerBusyUntil_[in.divUnit] > now_)
+        dividerBusyUntil_[in.divUnit] = now_ + 1;
+
+    if (in.writesReg()) {
+        rename_.squashWriter(in.si->dest.cls, in.si->dest.index,
+                             in.physDest, in.prevDest, in.seq);
+    }
+
+    window_.pop_back();
+    --nextSeq_;
+}
+
+void
+Processor::recover(DynInst &branch)
+{
+    ++stats_.recoveries;
+    const InstSeqNum bseq = branch.seq;
+
+    // Remove wrong-path instructions, youngest first, so rename-map
+    // restoration and emulator checkpoint releases nest correctly.
+    while (!window_.empty() && window_.back().seq > bseq)
+        squashYoungest();
+
+    for (std::deque<InstSeqNum> *q : {&dq_, &dqFp_, &dqMem_}) {
+        while (!q->empty() && q->back() > bseq)
+            q->pop_back();
+    }
+
+    if (!branch.hasEmuCp)
+        DRSIM_PANIC("recovery branch lost its checkpoint");
+    emu_.rollbackTo(branch.emuCp, branch.actualNextPc);
+
+    // Load the history register with its pre-branch value plus the
+    // actual direction (paper Section 2.1).  Under the execute-time-
+    // history ablation the register never held speculative bits, and
+    // this branch's own direction was already shifted in at issue.
+    if (config_.speculativeHistoryUpdate)
+        pred_.repairHistory(branch.historyBefore, branch.actualTaken);
+
+    // Fetch resumes down the correct path next cycle.
+    redirectedThisCycle_ = true;
+    lastFetchLineValid_ = false;
+    icacheStallUntil_ = 0;
+}
+
+void
+Processor::insertStage()
+{
+    if (redirectedThisCycle_)
+        return;
+
+    bool stalled_no_reg = false;
+    bool stalled_dq_full = false;
+    bool blocked = false;
+
+    int budget = config_.insertWidth();
+    while (budget > 0) {
+        if (emu_.fetchBlocked()) {
+            blocked = true;
+            break;
+        }
+        if (now_ < icacheStallUntil_)
+            break;
+
+        const Addr pc = emu_.pc();
+        const Addr line = pc / config_.icache.lineBytes;
+        if (!config_.perfectICache &&
+            (!lastFetchLineValid_ || line != lastFetchLine_)) {
+            const Cycle ready = icache_.fetch(pc, now_);
+            lastFetchLine_ = line;
+            lastFetchLineValid_ = true;
+            if (ready > now_) {
+                icacheStallUntil_ = ready;
+                break;
+            }
+        }
+
+        const Instruction *si = emu_.peek();
+        // Insert stalls when the instruction's *target* queue is full
+        // (for the unified queue this is the single dqSize bound).
+        if (int(queueFor(*si).size()) >= queueCapacity(*si)) {
+            stalled_dq_full = true;
+            break;
+        }
+        if (si->writesReg() && !rename_.canAllocate(si->dest.cls)) {
+            stalled_no_reg = true;
+            break;
+        }
+
+        DynInst in;
+        in.uid = nextUid_++;
+        in.seq = nextSeq_++;
+        in.si = si;
+        in.pc = pc;
+        in.insertCycle = now_;
+
+        bool follow_taken = false;
+        if (si->isCondBranch()) {
+            in.historyBefore = pred_.history();
+            if (config_.speculativeHistoryUpdate) {
+                follow_taken = pred_.predictAndUpdateHistory(pc);
+            } else {
+                // Ablation: the history register is only updated when
+                // the branch executes.
+                follow_taken = pred_.predict(pc);
+            }
+            in.predictedTaken = follow_taken;
+            in.emuCp = emu_.takeCheckpoint();
+            in.hasEmuCp = true;
+            uncompletedBranches_.insert(in.seq);
+            unissuedBranches_.insert(in.seq);
+        }
+
+        const StepInfo step = emu_.step(follow_taken);
+        in.effAddr = step.effAddr;
+        in.actualTaken = step.actualTaken;
+        in.actualNextPc = step.actualNextPc;
+        in.mispredicted =
+            si->isCondBranch() && step.actualTaken != follow_taken;
+
+        in.physSrc1 = rename_.renameSrc(si->src1);
+        in.physSrc2 = rename_.renameSrc(si->src2);
+        if (si->writesReg()) {
+            const auto alloc = rename_.renameDest(si->dest, in.seq);
+            in.physDest = alloc.dest;
+            in.prevDest = alloc.prev;
+        }
+
+        if (si->isStore()) {
+            storeQueue_.push_back(in.seq);
+            storeAddrMap_[in.effAddr].push_back(in.seq);
+        }
+
+        queueFor(*si).push_back(in.seq);
+        window_.push_back(in);
+        --budget;
+    }
+
+    if (stalled_no_reg)
+        ++stats_.insertStallNoRegCycles;
+    if (stalled_dq_full)
+        ++stats_.insertStallDqFullCycles;
+    if (blocked)
+        ++stats_.fetchBlockedCycles;
+}
+
+void
+Processor::sampleStats()
+{
+    stats_.cycles = now_;
+    if (rename_.freeCount(RegClass::Int) == 0 ||
+        rename_.freeCount(RegClass::Fp) == 0) {
+        ++stats_.noFreeRegCycles;
+    }
+    if (!config_.collectLiveHistograms)
+        return;
+    for (int c = 0; c < kNumRegClasses; ++c) {
+        const LiveCounts lc = rename_.liveCounts(RegClass(c));
+        const std::uint64_t s1 = lc.inFlight;
+        const std::uint64_t s2 = s1 + lc.inQueue;
+        const std::uint64_t s3 = s2 + lc.waitImprecise;
+        const std::uint64_t s4 = s3 + lc.waitPrecise;
+        stats_.live[c][0].addSample(s1);
+        stats_.live[c][1].addSample(s2);
+        stats_.live[c][2].addSample(s3);
+        stats_.live[c][3].addSample(s4);
+    }
+}
+
+double
+Processor::loadMissRate() const
+{
+    if (stats_.executedLoads == 0)
+        return 0.0;
+    return double(dcache_.stats().loadMisses) /
+           double(stats_.executedLoads);
+}
+
+} // namespace drsim

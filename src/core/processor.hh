@@ -1,0 +1,289 @@
+/**
+ * @file
+ * The dynamically scheduled processor model (paper Figures 1 and 2).
+ *
+ * Pipeline structure per cycle (processed in reverse pipeline order so
+ * each stage sees last cycle's state):
+ *   1. commit   - up to 2x issue-width completed instructions leave
+ *                 the machine in program order; stores reach the write
+ *                 buffer/cache; precise-model register freeing.
+ *   2. complete - scheduled completions fire: results become
+ *                 architectural on the current path, freeing
+ *                 bookkeeping advances (imprecise kill engine).
+ *   3. issue    - greedy oldest-first selection from the unified
+ *                 dispatch queue subject to the per-class limits;
+ *                 conditional branches execute here, so mispredictions
+ *                 are detected and recovery (squash + rename/emulator
+ *                 rollback + history repair) happens here.
+ *   4. insert   - up to 1.5x issue-width instructions are fetched down
+ *                 the predicted path, functionally executed, renamed,
+ *                 and inserted into the dispatch queue; stalls when
+ *                 the queue is full or a free register is missing.
+ *
+ * Dispatch-queue entries are freed at issue; program order for commit
+ * is tracked by the (unbounded) instruction window, so the in-flight
+ * window is bounded by physical registers, not by the queue — which is
+ * how the paper's tomcatv can keep ~500 registers live with a 64-entry
+ * queue (Figure 5 discussion).
+ */
+
+#ifndef DRSIM_CORE_PROCESSOR_HH
+#define DRSIM_CORE_PROCESSOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "bpred/mcfarling.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/config.hh"
+#include "core/dyninst.hh"
+#include "core/regfile.hh"
+#include "memory/cache.hh"
+#include "workloads/emulator.hh"
+#include "workloads/program.hh"
+
+namespace drsim {
+
+/** Why the simulation stopped. */
+enum class StopReason : std::uint8_t { Running, Halted, InstLimit };
+
+struct ProcStats
+{
+    Cycle cycles = 0;
+
+    std::uint64_t committed = 0;
+    std::uint64_t committedLoads = 0;
+    std::uint64_t committedStores = 0;
+    std::uint64_t committedCondBranches = 0;
+
+    /** "Executed" = issued, including wrong-path work (paper Table 1). */
+    std::uint64_t executed = 0;
+    std::uint64_t executedLoads = 0;
+    std::uint64_t executedStores = 0;
+    std::uint64_t executedCondBranches = 0;
+
+    std::uint64_t mispredictedBranches = 0; ///< of executed cbr
+    std::uint64_t recoveries = 0;           ///< squash events
+    std::uint64_t squashedInsts = 0;
+    std::uint64_t forwardedLoads = 0;
+
+    std::uint64_t insertStallNoRegCycles = 0;
+    std::uint64_t insertStallDqFullCycles = 0;
+    std::uint64_t noFreeRegCycles = 0;
+    std::uint64_t fetchBlockedCycles = 0;
+    /** Cycles commit stalled on a full (finite) write buffer. */
+    std::uint64_t writeBufferStallCycles = 0;
+
+    /**
+     * Per-cycle live-register histograms, nested cumulative sums per
+     * register file (see DESIGN.md):
+     *   [0] in-flight
+     *   [1] + in dispatch queue
+     *   [2] + waiting imprecise requirements (= imprecise-model live)
+     *   [3] + waiting precise requirements  (= total live)
+     */
+    Histogram live[kNumRegClasses][4];
+
+    double
+    issueIpc() const
+    {
+        return cycles ? double(executed) / double(cycles) : 0.0;
+    }
+    double
+    commitIpc() const
+    {
+        return cycles ? double(committed) / double(cycles) : 0.0;
+    }
+    double
+    mispredictRate() const
+    {
+        return executedCondBranches
+                   ? double(mispredictedBranches) /
+                         double(executedCondBranches)
+                   : 0.0;
+    }
+};
+
+class Processor
+{
+  public:
+    /** The caller keeps @p program alive for the processor's life. */
+    Processor(const CoreConfig &config, const Program &program);
+
+    /** Owning overload: safe to pass a temporary Program. */
+    Processor(const CoreConfig &config, Program &&program);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Run until the program halts or the instruction limit hits. */
+    void run();
+
+    bool done() const { return stopReason_ != StopReason::Running; }
+    StopReason stopReason() const { return stopReason_; }
+
+    const ProcStats &stats() const { return stats_; }
+    const CoreConfig &config() const { return config_; }
+    const Emulator &emulator() const { return emu_; }
+    const DataCache &dcache() const { return dcache_; }
+    const InstCache &icache() const { return icache_; }
+    const RenameUnit &rename() const { return rename_; }
+    Cycle now() const { return now_; }
+
+    /** In-flight window occupancy (testing aid). */
+    std::size_t windowSize() const { return window_.size(); }
+    /** Dispatch-queue occupancy across all queues (testing aid). */
+    std::size_t
+    dqOccupancy() const
+    {
+        return dq_.size() + dqFp_.size() + dqMem_.size();
+    }
+
+    /** Overall load miss rate in the paper's sense: primary misses
+     *  over executed loads (forwarded loads never miss; merges onto an
+     *  outstanding fetch are secondary misses, reported separately). */
+    double loadMissRate() const;
+
+    /**
+     * Stream a one-line-per-instruction pipeline trace: sequence
+     * number, PC, disassembly, and the insert/issue/complete cycles,
+     * ending in the commit cycle or the squash point.  Pass nullptr
+     * to stop tracing.  The stream must outlive the processor.
+     */
+    void setTrace(std::ostream *os) { trace_ = os; }
+
+  private:
+    Processor(const CoreConfig &config, const Program *external,
+              std::unique_ptr<const Program> owned);
+
+    struct CompletionEvent
+    {
+        InstUid uid;
+        InstSeqNum seq;
+    };
+
+    struct PendingKiller
+    {
+        InstSeqNum seq;
+        InstUid uid;
+        RegClass cls;
+        std::uint8_t vreg;
+        bool
+        operator>(const PendingKiller &o) const
+        {
+            return seq > o.seq;
+        }
+    };
+
+    /// @name Window helpers
+    /// @{
+    DynInst &inst(InstSeqNum seq) { return window_[seq - headSeq_]; }
+    bool
+    validInst(InstSeqNum seq, InstUid uid) const
+    {
+        return seq >= headSeq_ && seq < headSeq_ + window_.size() &&
+               window_[seq - headSeq_].uid == uid;
+    }
+    /// @}
+
+    /// @name Pipeline stages
+    /// @{
+    void commitStage();
+    void completeStage();
+    void issueStage();
+    void insertStage();
+    void sampleStats();
+    /// @}
+
+    bool tryIssue(DynInst &in, struct IssueBudget &budget);
+    /** The queue an instruction dispatches into, and its capacity. */
+    std::deque<InstSeqNum> &queueFor(const Instruction &si);
+    int queueCapacity(const Instruction &si) const;
+    /** Emit one pipeline-trace line for a retiring/squashed inst. */
+    void traceLine(const DynInst &in, bool squashed);
+    void scheduleCompletion(DynInst &in, Cycle when);
+    void finishIssue(DynInst &in, Cycle complete_at);
+    /** Issue-time handling of loads; false if the load must wait. */
+    bool issueLoad(DynInst &in);
+    void recover(DynInst &branch);
+    void squashYoungest();
+    void drainKillers();
+    bool branchesBeforeCompleted(InstSeqNum seq) const;
+    void stop(StopReason reason);
+
+    CoreConfig config_;
+    /** Set only by the owning constructor. */
+    std::unique_ptr<const Program> ownedProgram_;
+    const Program &program_;
+    Emulator emu_;
+    CombinedPredictor pred_;
+    DataCache dcache_;
+    InstCache icache_;
+    RenameUnit rename_;
+    ProcStats stats_;
+
+    Cycle now_ = 0;
+    InstUid nextUid_ = 1;
+    InstSeqNum nextSeq_ = 1;
+    InstSeqNum headSeq_ = 1;
+    std::deque<DynInst> window_;
+    /** Unified dispatch queue — or the integer+control queue when
+     *  splitDispatchQueues is set. */
+    std::deque<InstSeqNum> dq_;
+    /** Split-mode floating-point and memory queues (otherwise empty). */
+    std::deque<InstSeqNum> dqFp_;
+    std::deque<InstSeqNum> dqMem_;
+
+    /// @name Memory ordering
+    /// @{
+    std::deque<InstSeqNum> storeQueue_;
+    /** 8-byte word address -> ascending store sequence numbers. */
+    std::unordered_map<Addr, std::deque<InstSeqNum>> storeAddrMap_;
+    /// @}
+
+    /** Unissued conditional branches (for the in-order-branch
+     *  ablation). */
+    std::set<InstSeqNum> unissuedBranches_;
+
+    /// @name Imprecise kill engine
+    /// @{
+    std::set<InstSeqNum> uncompletedBranches_;
+    std::priority_queue<PendingKiller, std::vector<PendingKiller>,
+                        std::greater<>>
+        pendingKillers_;
+    /// @}
+
+    /// @name Completion events
+    /// @{
+    std::vector<std::vector<CompletionEvent>> ring_;
+    std::size_t ringSize_ = 0;
+    /// @}
+
+    /// @name Functional units
+    /// @{
+    std::vector<Cycle> dividerBusyUntil_;
+    /// @}
+
+    /// @name Fetch state
+    /// @{
+    bool redirectedThisCycle_ = false;
+    bool lastFetchLineValid_ = false;
+    Addr lastFetchLine_ = 0;
+    Cycle icacheStallUntil_ = 0;
+    /// @}
+
+    StopReason stopReason_ = StopReason::Running;
+    Cycle lastCommitCycle_ = 0;
+    std::ostream *trace_ = nullptr;
+};
+
+} // namespace drsim
+
+#endif // DRSIM_CORE_PROCESSOR_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Architectural (virtual) register identifiers.
+ *
+ * The ISA mirrors the paper's Alpha-like model: 32 integer and 32
+ * floating-point registers, with r31/f31 hardwired to zero.  The zero
+ * registers are never renamed, so each file offers 31 renameable
+ * virtual registers — which is why the paper's minimum viable physical
+ * register file size is 32 (Section 3.1).
+ */
+
+#ifndef DRSIM_ISA_REG_HH
+#define DRSIM_ISA_REG_HH
+
+#include <cstdint>
+
+namespace drsim {
+
+/** Number of architectural registers per register file. */
+constexpr int kNumVirtualRegs = 32;
+
+/** Index of the hardwired zero register in each file. */
+constexpr int kZeroReg = 31;
+
+/** The two register files the machine model sizes independently. */
+enum class RegClass : std::uint8_t { Int = 0, Fp = 1 };
+
+constexpr int kNumRegClasses = 2;
+
+/** An architectural register reference; may be invalid ("no operand"). */
+struct RegId
+{
+    RegClass cls = RegClass::Int;
+    std::uint8_t index = kInvalidIndex;
+
+    static constexpr std::uint8_t kInvalidIndex = 0xff;
+
+    constexpr bool valid() const { return index != kInvalidIndex; }
+    constexpr bool isZero() const { return valid() && index == kZeroReg; }
+
+    /** True for a valid, renameable (non-zero) register. */
+    constexpr bool renamed() const { return valid() && index != kZeroReg; }
+
+    constexpr bool
+    operator==(const RegId &o) const
+    {
+        return cls == o.cls && index == o.index;
+    }
+};
+
+/** Integer register constructor, e.g. intReg(5) == r5. */
+constexpr RegId
+intReg(int index)
+{
+    return RegId{RegClass::Int, static_cast<std::uint8_t>(index)};
+}
+
+/** Floating-point register constructor, e.g. fpReg(5) == f5. */
+constexpr RegId
+fpReg(int index)
+{
+    return RegId{RegClass::Fp, static_cast<std::uint8_t>(index)};
+}
+
+/** The invalid ("absent") register reference. */
+constexpr RegId
+noReg()
+{
+    return RegId{};
+}
+
+} // namespace drsim
+
+#endif // DRSIM_ISA_REG_HH

@@ -1,0 +1,142 @@
+#include "sim/options.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace drsim {
+
+void
+OptionParser::addInt(const std::string &name, std::int64_t *value,
+                     const std::string &help)
+{
+    if (find(name) != nullptr)
+        DRSIM_PANIC("duplicate option --", name);
+    options_.push_back({name, Kind::Int, value, help,
+                        std::to_string(*value)});
+}
+
+void
+OptionParser::addString(const std::string &name, std::string *value,
+                        const std::string &help)
+{
+    if (find(name) != nullptr)
+        DRSIM_PANIC("duplicate option --", name);
+    options_.push_back({name, Kind::String, value, help, *value});
+}
+
+void
+OptionParser::addFlag(const std::string &name, bool *value,
+                      const std::string &help)
+{
+    if (find(name) != nullptr)
+        DRSIM_PANIC("duplicate option --", name);
+    options_.push_back({name, Kind::Flag, value, help,
+                        *value ? "true" : "false"});
+}
+
+const OptionParser::Option *
+OptionParser::find(const std::string &name) const
+{
+    for (const Option &o : options_)
+        if (o.name == name)
+            return &o;
+    return nullptr;
+}
+
+bool
+OptionParser::assign(const Option &opt, const std::string &value)
+{
+    switch (opt.kind) {
+      case Kind::Int: {
+        char *end = nullptr;
+        const long long v = std::strtoll(value.c_str(), &end, 0);
+        if (end == value.c_str() || *end != '\0') {
+            error_ = "--" + opt.name + " expects an integer, got '" +
+                     value + "'";
+            return false;
+        }
+        *static_cast<std::int64_t *>(opt.target) = v;
+        return true;
+      }
+      case Kind::String:
+        *static_cast<std::string *>(opt.target) = value;
+        return true;
+      case Kind::Flag:
+        if (value == "true" || value == "1") {
+            *static_cast<bool *>(opt.target) = true;
+        } else if (value == "false" || value == "0") {
+            *static_cast<bool *>(opt.target) = false;
+        } else {
+            error_ = "--" + opt.name + " expects true/false, got '" +
+                     value + "'";
+            return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+OptionParser::parse(int argc, const char *const *argv)
+{
+    error_.clear();
+    helpRequested_ = false;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            helpRequested_ = true;
+            return true;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            error_ = "unexpected argument '" + arg + "'";
+            return false;
+        }
+        arg = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_value = true;
+        }
+        const Option *opt = find(arg);
+        if (opt == nullptr) {
+            error_ = "unknown option '--" + arg + "'";
+            return false;
+        }
+        if (opt->kind == Kind::Flag && !has_value) {
+            *static_cast<bool *>(opt->target) = true;
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= argc) {
+                error_ = "--" + arg + " needs a value";
+                return false;
+            }
+            value = argv[++i];
+        }
+        if (!assign(*opt, value))
+            return false;
+    }
+    return true;
+}
+
+std::string
+OptionParser::helpText(const std::string &program) const
+{
+    std::ostringstream os;
+    os << "usage: " << program << " [options]\n\noptions:\n";
+    for (const Option &o : options_) {
+        os << "  --" << o.name;
+        if (o.kind != Kind::Flag)
+            os << " <value>";
+        os << "\n      " << o.help << " (default: " << o.defaultRepr
+           << ")\n";
+    }
+    return os.str();
+}
+
+} // namespace drsim

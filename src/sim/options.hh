@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A small self-describing command-line option parser for the drsim
+ * front-end (tools/drsim).  Long options only: `--name value`,
+ * `--name=value`, and boolean `--name`.
+ */
+
+#ifndef DRSIM_SIM_OPTIONS_HH
+#define DRSIM_SIM_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drsim {
+
+class OptionParser
+{
+  public:
+    /** Register options; the pointed-to defaults double as values. */
+    void addInt(const std::string &name, std::int64_t *value,
+                const std::string &help);
+    void addString(const std::string &name, std::string *value,
+                   const std::string &help);
+    void addFlag(const std::string &name, bool *value,
+                 const std::string &help);
+
+    /**
+     * Parse argv (excluding argv[0]).  Returns true on success;
+     * on failure error() describes the problem.  `--help` sets
+     * helpRequested() and returns true without parsing further.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    bool helpRequested() const { return helpRequested_; }
+    const std::string &error() const { return error_; }
+
+    /** Render the option table for --help. */
+    std::string helpText(const std::string &program) const;
+
+  private:
+    enum class Kind { Int, String, Flag };
+
+    struct Option
+    {
+        std::string name;
+        Kind kind;
+        void *target;
+        std::string help;
+        std::string defaultRepr;
+    };
+
+    const Option *find(const std::string &name) const;
+    bool assign(const Option &opt, const std::string &value);
+
+    std::vector<Option> options_;
+    bool helpRequested_ = false;
+    std::string error_;
+};
+
+} // namespace drsim
+
+#endif // DRSIM_SIM_OPTIONS_HH

@@ -1,0 +1,118 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace drsim {
+
+namespace {
+
+SimResult
+runOne(const CoreConfig &config, const Program &program,
+       const std::string &name, bool fp_intensive)
+{
+    Processor proc(config, program);
+    proc.run();
+
+    SimResult res;
+    res.workload = name;
+    res.fpIntensive = fp_intensive;
+    res.stopReason = proc.stopReason();
+    res.proc = proc.stats();
+    res.dcache = proc.dcache().stats();
+    res.icacheAccesses = proc.icache().accesses();
+    res.icacheMisses = proc.icache().misses();
+    res.loadMissRate = proc.loadMissRate();
+    for (int c = 0; c < kNumRegClasses; ++c)
+        res.lifetime[c] = proc.rename().lifetimeHistogram(RegClass(c));
+    return res;
+}
+
+} // namespace
+
+SimResult
+simulate(const CoreConfig &config, const Workload &workload)
+{
+    return runOne(config, workload.program, workload.spec->name,
+                  workload.spec->fpIntensive);
+}
+
+SimResult
+simulateProgram(const CoreConfig &config, const Program &program,
+                bool fp_intensive)
+{
+    return runOne(config, program, program.name(), fp_intensive);
+}
+
+SuiteResult::SuiteResult(std::vector<SimResult> runs)
+    : runs_(std::move(runs))
+{
+    if (runs_.empty())
+        fatal("suite result needs at least one run");
+}
+
+double
+SuiteResult::avgIssueIpc() const
+{
+    double sum = 0.0;
+    for (const auto &r : runs_)
+        sum += r.issueIpc();
+    return sum / double(runs_.size());
+}
+
+double
+SuiteResult::avgCommitIpc() const
+{
+    double sum = 0.0;
+    for (const auto &r : runs_)
+        sum += r.commitIpc();
+    return sum / double(runs_.size());
+}
+
+double
+SuiteResult::avgNoFreeRegPct() const
+{
+    double sum = 0.0;
+    for (const auto &r : runs_)
+        sum += r.noFreeRegPct();
+    return sum / double(runs_.size());
+}
+
+std::vector<double>
+SuiteResult::avgDensity(RegClass cls, LiveLevel level) const
+{
+    std::vector<std::vector<double>> densities;
+    for (const auto &r : runs_) {
+        if (cls == RegClass::Fp && !r.fpIntensive)
+            continue; // FP curves use FP-intensive benchmarks only
+        densities.push_back(
+            r.proc.live[int(cls)][int(level)].normalized());
+    }
+    if (densities.empty())
+        fatal("no benchmarks contribute to this density");
+    return averageDensities(densities);
+}
+
+std::uint64_t
+SuiteResult::livePercentile(RegClass cls, LiveLevel level,
+                            double fraction) const
+{
+    return densityPercentile(avgDensity(cls, level), fraction);
+}
+
+std::vector<double>
+SuiteResult::avgCoverage(RegClass cls, LiveLevel level) const
+{
+    return coverageCurve(avgDensity(cls, level));
+}
+
+SuiteResult
+runSuite(const CoreConfig &config, const std::vector<Workload> &suite)
+{
+    std::vector<SimResult> runs;
+    runs.reserve(suite.size());
+    for (const auto &w : suite)
+        runs.push_back(simulate(config, w));
+    return SuiteResult(std::move(runs));
+}
+
+} // namespace drsim

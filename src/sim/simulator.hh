@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Top-level simulation driver and cross-benchmark aggregation.
+ *
+ * runSuite() applies the paper's averaging rules (Section 3.1,
+ * footnote 2): per-benchmark live-register distributions are
+ * normalized by each benchmark's own run time, the normalized
+ * distributions are averaged, and percentiles/coverage are read off
+ * the average.  Integer-register curves average all benchmarks;
+ * FP-register curves average only the FP-intensive benchmarks.
+ */
+
+#ifndef DRSIM_SIM_SIMULATOR_HH
+#define DRSIM_SIM_SIMULATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "core/processor.hh"
+#include "workloads/kernels.hh"
+
+namespace drsim {
+
+/** Everything measured in one (workload, configuration) run. */
+struct SimResult
+{
+    std::string workload;
+    bool fpIntensive = false;
+    StopReason stopReason = StopReason::Running;
+    ProcStats proc;
+    DCacheStats dcache;
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t icacheMisses = 0;
+    /** Paper-style rate: primary misses / executed loads. */
+    double loadMissRate = 0.0;
+    /** Register lifetimes (allocation to release, cycles) per file. */
+    Histogram lifetime[kNumRegClasses];
+
+    double issueIpc() const { return proc.issueIpc(); }
+    double commitIpc() const { return proc.commitIpc(); }
+    double mispredictRate() const { return proc.mispredictRate(); }
+    double
+    noFreeRegPct() const
+    {
+        return proc.cycles
+                   ? 100.0 * double(proc.noFreeRegCycles) /
+                         double(proc.cycles)
+                   : 0.0;
+    }
+};
+
+/** Simulate one workload under @p config. */
+SimResult simulate(const CoreConfig &config, const Workload &workload);
+
+/** Simulate an arbitrary program (examples, tests). */
+SimResult simulateProgram(const CoreConfig &config,
+                          const Program &program,
+                          bool fp_intensive = false);
+
+/** The four nested live-register accounting levels (DESIGN.md). */
+enum class LiveLevel : int {
+    InFlight = 0,       ///< registers of in-flight instructions
+    PlusQueue = 1,      ///< + dispatch-queue residents
+    ImpreciseLive = 2,  ///< + waiting-imprecise (= imprecise live)
+    PreciseLive = 3,    ///< + waiting-precise (= total live)
+};
+
+/** Suite run with the paper's averaging applied. */
+class SuiteResult
+{
+  public:
+    explicit SuiteResult(std::vector<SimResult> runs);
+
+    const std::vector<SimResult> &runs() const { return runs_; }
+
+    /** Arithmetic means over all benchmarks. */
+    double avgIssueIpc() const;
+    double avgCommitIpc() const;
+    double avgNoFreeRegPct() const;
+
+    /**
+     * Cross-benchmark average of run-time-normalized live-register
+     * densities.  FP distributions average only the FP-intensive
+     * benchmarks (paper Figure 3 note).
+     */
+    std::vector<double> avgDensity(RegClass cls, LiveLevel level) const;
+
+    /** Percentile of the averaged density (e.g. 0.90). */
+    std::uint64_t livePercentile(RegClass cls, LiveLevel level,
+                                 double fraction) const;
+
+    /** Averaged run-time coverage curve (Figures 4, 5, 8). */
+    std::vector<double> avgCoverage(RegClass cls, LiveLevel level) const;
+
+  private:
+    std::vector<SimResult> runs_;
+};
+
+/** Run every workload in @p suite under @p config. */
+SuiteResult runSuite(const CoreConfig &config,
+                     const std::vector<Workload> &suite);
+
+} // namespace drsim
+
+#endif // DRSIM_SIM_SIMULATOR_HH

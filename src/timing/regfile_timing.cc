@@ -1,0 +1,119 @@
+#include "timing/regfile_timing.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace drsim {
+
+namespace {
+
+/// @name 0.5 um technology constants
+/// The absolute values are calibrated to put an 8R/4W 64x80-bit file
+/// near 0.6 ns (paper Figure 10); the structural dependences on ports
+/// and registers are what the model is for.
+/// @{
+
+/** Base storage-cell dimensions (um) before per-port wiring. */
+constexpr double kCellBaseW = 5.0;
+constexpr double kCellBaseH = 4.0;
+/** Metal pitch added per bitline (width) / wordline (height), um. */
+constexpr double kBitlinePitch = 1.4;
+constexpr double kWordlinePitch = 1.4;
+
+/** Wire resistance (ohm/um, repeated metal) and capacitance (fF/um). */
+constexpr double kWireRes = 0.012;
+constexpr double kWireCap = 0.063;
+
+/** Pass-transistor gate load per cell on a wordline (fF). */
+constexpr double kPassGateCap = 0.52;
+/** Drain load per cell on a bitline (fF). */
+constexpr double kDrainCap = 0.28;
+
+/** Wordline driver output resistance (ohm). */
+constexpr double kDriverRes = 450.0;
+/** Cell read current (uA) discharging the bitline. */
+constexpr double kCellCurrent = 450.0;
+/** Bitline voltage swing needed by the sense amplifier (V). */
+constexpr double kSenseSwing = 0.06;
+
+/** Fixed stage delays (ns). */
+constexpr double kDecodeBase = 0.14;
+constexpr double kDecodePerBit = 0.010; ///< per address bit
+constexpr double kSenseDelay = 0.20;
+constexpr double kPrechargeBase = 0.19;
+
+/// @}
+
+} // namespace
+
+RegFileTiming
+regFileTiming(const RegFileGeometry &geom)
+{
+    if (geom.numRegs < 2 || geom.readPorts < 1 || geom.writePorts < 1 ||
+        geom.bits < 1) {
+        fatal("invalid register file geometry");
+    }
+
+    // Cell geometry per Figure 9: 1 bitline + 1 wordline per read
+    // port; 2 bitlines + 1 wordline per write port.
+    const int bitlines = geom.readPorts + 2 * geom.writePorts;
+    const int wordlines = geom.readPorts + geom.writePorts;
+    const double cell_w = kCellBaseW + kBitlinePitch * bitlines;
+    const double cell_h = kCellBaseH + kWordlinePitch * wordlines;
+
+    RegFileTiming t{};
+
+    // Row decoder: fan-in grows with log2(numRegs); the decoder also
+    // drives a wire spanning the array height.
+    const double addr_bits = std::log2(double(geom.numRegs));
+    const double array_h = cell_h * geom.numRegs; // um
+    t.decoderNs = kDecodeBase + kDecodePerBit * addr_bits +
+                  0.5 * kWireRes * array_h * (kWireCap * array_h) * 1e-6;
+
+    // Wordline: distributed RC of the line plus the driver charging
+    // the pass-gate loads of every cell.
+    const double wl_len = cell_w * geom.bits; // um
+    const double wl_cap = kWireCap * wl_len + kPassGateCap * geom.bits;
+    const double wl_res = kWireRes * wl_len;
+    t.wordlineNs = (kDriverRes * wl_cap + 0.5 * wl_res * wl_cap) * 1e-6;
+
+    // Bitline: the selected cell discharges the line capacitance by
+    // the sense swing; the distributed wire RC adds on top.
+    const double bl_len = cell_h * geom.numRegs; // um
+    const double bl_cap = kWireCap * bl_len + kDrainCap * geom.numRegs;
+    const double bl_res = kWireRes * bl_len;
+    // V * fF / uA = ns directly.
+    t.bitlineNs = kSenseSwing * bl_cap / kCellCurrent +
+                  0.5 * bl_res * bl_cap * 1e-6;
+
+    t.senseNs = kSenseDelay;
+    t.accessNs = t.decoderNs + t.wordlineNs + t.bitlineNs + t.senseNs;
+
+    // Cycle time: access plus bitline precharge/recovery.
+    const double precharge = kPrechargeBase + 0.35 * t.bitlineNs;
+    t.cycleNs = t.accessNs + precharge;
+
+    t.areaMm2 = cell_w * cell_h * geom.numRegs * geom.bits * 1e-6;
+    return t;
+}
+
+RegFileGeometry
+intRegFileGeometry(int issue_width, int num_regs)
+{
+    return {num_regs, 2 * issue_width, issue_width, 64};
+}
+
+RegFileGeometry
+fpRegFileGeometry(int issue_width, int num_regs)
+{
+    return {num_regs, issue_width, issue_width / 2, 64};
+}
+
+double
+bipsEstimate(double commit_ipc, double cycle_ns)
+{
+    return commit_ipc / cycle_ns;
+}
+
+} // namespace drsim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Analytic cycle-time model for multiported register files
+ * (paper Section 3.4).
+ *
+ * The paper modified the Wilton & Jouppi cache access/cycle-time model
+ * [WRL 93/5] for multiported register files in 0.5 um CMOS, using the
+ * storage cell of its Figure 9: one bitline and one wordline per read
+ * port, two bitlines and one wordline per write port.  This module
+ * implements the same structural model: the cell grows linearly in
+ * both dimensions with port count, so doubling the ports roughly
+ * doubles both wordline and bitline length (quadrupling area), while
+ * doubling the register count only lengthens the bitlines — which is
+ * the asymmetry behind the paper's conclusion that ports are far more
+ * expensive than registers.
+ *
+ * Stage delays (decoder, wordline, bitline, sense amp) use lumped-RC
+ * expressions with 0.5 um device/wire constants calibrated so the
+ * absolute numbers land in Figure 10's 0.1-1 ns band; the *shape* of
+ * the curves is entirely model-derived.
+ */
+
+#ifndef DRSIM_TIMING_REGFILE_TIMING_HH
+#define DRSIM_TIMING_REGFILE_TIMING_HH
+
+namespace drsim {
+
+struct RegFileGeometry
+{
+    int numRegs;
+    int readPorts;
+    int writePorts;
+    int bits = 64;
+};
+
+struct RegFileTiming
+{
+    double decoderNs;
+    double wordlineNs;
+    double bitlineNs;
+    double senseNs;
+    /** Read access time (decoder + wordline + bitline + sense). */
+    double accessNs;
+    /** Cycle time (access + precharge/recovery). */
+    double cycleNs;
+    /** Cell-array area (mm^2), for reporting. */
+    double areaMm2;
+};
+
+/** Evaluate the timing model for one register file. */
+RegFileTiming regFileTiming(const RegFileGeometry &geom);
+
+/**
+ * Integer register file geometry for a given issue width: 2 read
+ * ports and 1 write port per issue slot (8R/4W at 4-way, 16R/8W at
+ * 8-way, paper Section 3.4).
+ */
+RegFileGeometry intRegFileGeometry(int issue_width, int num_regs);
+
+/** FP register file: half the ports of the integer file. */
+RegFileGeometry fpRegFileGeometry(int issue_width, int num_regs);
+
+/**
+ * Machine performance estimate in BIPS, assuming the machine cycle
+ * time scales with the integer register file cycle time
+ * (paper Figure 10): commit IPC / cycle time.
+ */
+double bipsEstimate(double commit_ipc, double cycle_ns);
+
+} // namespace drsim
+
+#endif // DRSIM_TIMING_REGFILE_TIMING_HH

@@ -1,0 +1,96 @@
+#include "timing/structures.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace drsim {
+
+namespace {
+
+/// @name 0.5 um constants shared in spirit with regfile_timing.cc
+/// @{
+constexpr double kWireCap = 0.063;    ///< fF/um
+constexpr double kWireRes = 0.012;    ///< ohm/um
+constexpr double kDriverRes = 450.0;  ///< tag/wordline driver, ohm
+constexpr double kCompareCap = 1.2;   ///< CAM comparator load, fF/bit
+constexpr double kGateDelay = 0.045;  ///< ns per logic level
+constexpr double kLatchOverhead = 0.12; ///< ns
+/// @}
+
+/** CAM entry height: two source-tag comparator rows plus one match
+ *  line per broadcast bus, 1.4 um pitch like the register cell. */
+double
+camEntryHeight(int issue_width)
+{
+    return 5.0 + 1.4 * (2.0 + issue_width);
+}
+
+} // namespace
+
+DispatchQueueTiming
+dispatchQueueTiming(const DispatchQueueGeometry &g)
+{
+    if (g.entries < 1 || g.issueWidth < 1 || g.tagBits < 1)
+        fatal("invalid dispatch queue geometry");
+
+    DispatchQueueTiming t{};
+
+    // Wakeup: each result tag is driven down the queue past every
+    // entry's two comparators (tagBits bits each).
+    const double wire_len = camEntryHeight(g.issueWidth) * g.entries;
+    const double tag_cap = kWireCap * wire_len +
+                           kCompareCap * 2.0 * g.tagBits * g.entries /
+                               8.0;
+    const double tag_res = kWireRes * wire_len;
+    t.wakeupNs = (kDriverRes * tag_cap + 0.5 * tag_res * tag_cap) *
+                     1e-6 +
+                 2.0 * kGateDelay; // comparator + match-line gate
+
+    // Select: a priority tree over the entries, one level per factor
+    // of four, repeated per issue slot's arbitration overlap (modeled
+    // as one extra level per doubling of the issue width).
+    const double levels = std::ceil(std::log2(double(g.entries)) / 2.0) +
+                          std::log2(double(g.issueWidth));
+    t.selectNs = levels * 2.0 * kGateDelay;
+
+    t.cycleNs = t.wakeupNs + t.selectNs + kLatchOverhead;
+    return t;
+}
+
+RenameTiming
+renameTiming(const RenameGeometry &g)
+{
+    if (g.numPhysRegs < 2 || g.issueWidth < 1 || g.virtualRegs < 1)
+        fatal("invalid rename geometry");
+
+    RenameTiming t{};
+
+    // Map table: virtualRegs entries of log2(numPhysRegs) bits with
+    // 2 read ports and 1 write port per rename slot.
+    const int read_ports = 2 * g.issueWidth;
+    const int write_ports = g.issueWidth;
+    const int bitlines = read_ports + 2 * write_ports;
+    const int wordlines = read_ports + write_ports;
+    const double entry_bits = std::ceil(std::log2(double(g.numPhysRegs)));
+    const double cell_w = 5.0 + 1.4 * bitlines;
+    const double cell_h = 4.0 + 1.4 * wordlines;
+    const double wl_len = cell_w * entry_bits;
+    const double bl_len = cell_h * g.virtualRegs;
+    const double wl_cap = kWireCap * wl_len + 0.52 * entry_bits;
+    const double bl_cap = kWireCap * bl_len + 0.28 * g.virtualRegs;
+    t.mapReadNs = (kDriverRes * wl_cap) * 1e-6 +
+                  0.06 * bl_cap / 450.0 + // sense swing, as the RF
+                  2.0 * kGateDelay;       // decode of 5 address bits
+
+    // Intra-group dependence check: each slot compares its sources
+    // against every older slot's destination and muxes — a tree of
+    // depth log2(width) plus the final bypass mux.
+    t.checkNs = (std::log2(double(g.issueWidth)) + 1.0) * 2.0 *
+                kGateDelay;
+
+    t.cycleNs = t.mapReadNs + t.checkNs + kLatchOverhead;
+    return t;
+}
+
+} // namespace drsim

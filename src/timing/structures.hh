@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Analytic cycle-time models for the other critical-path structures
+ * the paper names in Section 3.4: the dispatch queue and the register
+ * renaming unit.
+ *
+ * "Although there are many critical paths in a dynamically scheduled
+ *  superscalar processor, the worst may have timing that scales
+ *  similarly to that of register files with complexity."
+ *
+ * These models let that assumption be checked rather than assumed
+ * (bench/ext_critical_paths): the dispatch queue is modeled as a CAM
+ * wakeup (issue-width result tags broadcast across every entry's two
+ * source-tag comparators) followed by a priority select; the rename
+ * unit as a small multiported RAM map table plus the same-group
+ * dependence cross-check.  The same 0.5 um wire/device constants as
+ * the register-file model are used.
+ */
+
+#ifndef DRSIM_TIMING_STRUCTURES_HH
+#define DRSIM_TIMING_STRUCTURES_HH
+
+namespace drsim {
+
+struct DispatchQueueGeometry
+{
+    int entries;      ///< dispatch-queue size
+    int issueWidth;   ///< result tags broadcast per cycle
+    int tagBits = 8;  ///< physical-register tag width
+};
+
+struct DispatchQueueTiming
+{
+    double wakeupNs; ///< tag broadcast + per-entry compare
+    double selectNs; ///< priority selection of ready instructions
+    double cycleNs;  ///< wakeup + select (one scheduling loop)
+};
+
+DispatchQueueTiming dispatchQueueTiming(const DispatchQueueGeometry &g);
+
+struct RenameGeometry
+{
+    int numPhysRegs;  ///< sets the map-table entry width (log2)
+    int issueWidth;   ///< rename bandwidth: 2 reads + 1 write per slot
+    int virtualRegs = 32;
+};
+
+struct RenameTiming
+{
+    double mapReadNs;  ///< multiported map-table lookup
+    double checkNs;    ///< intra-group dependence cross-check + mux
+    double cycleNs;
+};
+
+RenameTiming renameTiming(const RenameGeometry &g);
+
+} // namespace drsim
+
+#endif // DRSIM_TIMING_STRUCTURES_HH

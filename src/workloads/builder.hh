@@ -1,0 +1,160 @@
+/**
+ * @file
+ * ProgramBuilder: a tiny structured assembler for drsim programs.
+ *
+ * Kernels are written against this API.  Labels may be created before
+ * they are bound, so forward branches are natural:
+ *
+ *   ProgramBuilder b("loop");
+ *   auto r1 = intReg(1);
+ *   auto top = b.newLabel();
+ *   b.li(r1, 100);
+ *   b.bind(top);
+ *   b.addi(r1, r1, -1);
+ *   b.bne(r1, top);
+ *   b.halt();
+ *   Program p = b.build();
+ */
+
+#ifndef DRSIM_WORKLOADS_BUILDER_HH
+#define DRSIM_WORKLOADS_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/program.hh"
+
+namespace drsim {
+
+class ProgramBuilder
+{
+  public:
+    using Label = int;
+
+    explicit ProgramBuilder(std::string name);
+
+    /** Create a label that can be branched to before it is bound. */
+    Label newLabel();
+
+    /** Bind @p label to the next emitted instruction. */
+    void bind(Label label);
+
+    /** Convenience: create and immediately bind a label. */
+    Label
+    here()
+    {
+        Label l = newLabel();
+        bind(l);
+        return l;
+    }
+
+    /// @name Data segment
+    /// @{
+    /** Allocate @p nwords 8-byte words; returns the base address. */
+    Addr allocWords(std::size_t nwords);
+    void initWord(Addr addr, std::uint64_t value);
+    void initDouble(Addr addr, double value);
+    /// @}
+
+    /// @name Integer ALU
+    /// @{
+    void add(RegId d, RegId a, RegId b) { emitRRR(Opcode::Add, d, a, b); }
+    void addi(RegId d, RegId a, std::int64_t i)
+    { emitRRI(Opcode::Add, d, a, i); }
+    void sub(RegId d, RegId a, RegId b) { emitRRR(Opcode::Sub, d, a, b); }
+    void subi(RegId d, RegId a, std::int64_t i)
+    { emitRRI(Opcode::Sub, d, a, i); }
+    void and_(RegId d, RegId a, RegId b) { emitRRR(Opcode::And, d, a, b); }
+    void andi(RegId d, RegId a, std::int64_t i)
+    { emitRRI(Opcode::And, d, a, i); }
+    void or_(RegId d, RegId a, RegId b) { emitRRR(Opcode::Or, d, a, b); }
+    void ori(RegId d, RegId a, std::int64_t i)
+    { emitRRI(Opcode::Or, d, a, i); }
+    void xor_(RegId d, RegId a, RegId b) { emitRRR(Opcode::Xor, d, a, b); }
+    void xori(RegId d, RegId a, std::int64_t i)
+    { emitRRI(Opcode::Xor, d, a, i); }
+    void sll(RegId d, RegId a, RegId b) { emitRRR(Opcode::Sll, d, a, b); }
+    void slli(RegId d, RegId a, std::int64_t i)
+    { emitRRI(Opcode::Sll, d, a, i); }
+    void srl(RegId d, RegId a, RegId b) { emitRRR(Opcode::Srl, d, a, b); }
+    void srli(RegId d, RegId a, std::int64_t i)
+    { emitRRI(Opcode::Srl, d, a, i); }
+    void cmplt(RegId d, RegId a, RegId b)
+    { emitRRR(Opcode::Cmplt, d, a, b); }
+    void cmplti(RegId d, RegId a, std::int64_t i)
+    { emitRRI(Opcode::Cmplt, d, a, i); }
+    void cmple(RegId d, RegId a, RegId b)
+    { emitRRR(Opcode::Cmple, d, a, b); }
+    void cmpeq(RegId d, RegId a, RegId b)
+    { emitRRR(Opcode::Cmpeq, d, a, b); }
+    void cmpeqi(RegId d, RegId a, std::int64_t i)
+    { emitRRI(Opcode::Cmpeq, d, a, i); }
+    void mul(RegId d, RegId a, RegId b) { emitRRR(Opcode::Mul, d, a, b); }
+    void muli(RegId d, RegId a, std::int64_t i)
+    { emitRRI(Opcode::Mul, d, a, i); }
+    /** Load immediate: addi d, r31, imm. */
+    void li(RegId d, std::int64_t imm)
+    { emitRRI(Opcode::Add, d, intReg(kZeroReg), imm); }
+    /** Register move: add d, a, #0. */
+    void mov(RegId d, RegId a) { emitRRI(Opcode::Add, d, a, 0); }
+    /// @}
+
+    /// @name Floating point
+    /// @{
+    void fadd(RegId d, RegId a, RegId b) { emitRRR(Opcode::Fadd, d, a, b); }
+    void fsub(RegId d, RegId a, RegId b) { emitRRR(Opcode::Fsub, d, a, b); }
+    void fmul(RegId d, RegId a, RegId b) { emitRRR(Opcode::Fmul, d, a, b); }
+    void fcmplt(RegId d, RegId a, RegId b)
+    { emitRRR(Opcode::Fcmplt, d, a, b); }
+    void fdivs(RegId d, RegId a, RegId b)
+    { emitRRR(Opcode::Fdivs, d, a, b); }
+    void fdivd(RegId d, RegId a, RegId b)
+    { emitRRR(Opcode::Fdivd, d, a, b); }
+    void fsqrt(RegId d, RegId a) { emitRRR(Opcode::Fsqrt, d, a, noReg()); }
+    void itof(RegId d, RegId a) { emitRRR(Opcode::Itof, d, a, noReg()); }
+    void ftoi(RegId d, RegId a) { emitRRR(Opcode::Ftoi, d, a, noReg()); }
+    /// @}
+
+    /// @name Memory (8-byte; address = base + off)
+    /// @{
+    void ldq(RegId d, RegId base, std::int64_t off);
+    void ldt(RegId d, RegId base, std::int64_t off);
+    void stq(RegId value, RegId base, std::int64_t off);
+    void stt(RegId value, RegId base, std::int64_t off);
+    /// @}
+
+    /// @name Control flow
+    /// @{
+    void beq(RegId c, Label target);
+    void bne(RegId c, Label target);
+    void fbeq(RegId c, Label target);
+    void fbne(RegId c, Label target);
+    void br(Label target);
+    void jsr(RegId link, Label target);
+    void ret(RegId addrReg);
+    void halt();
+    /// @}
+
+    /** Resolve labels and produce the finalized Program. */
+    Program build();
+
+  private:
+    void emitRRR(Opcode op, RegId d, RegId a, RegId b);
+    void emitRRI(Opcode op, RegId d, RegId a, std::int64_t imm);
+    void emit(Instruction inst);
+    /** Current block, splitting after control flow as needed. */
+    BasicBlock &current();
+
+    Program prog_;
+    /** label -> block index (-1 while unbound). */
+    std::vector<int> labelBlock_;
+    bool pendingLabelBind_ = false;
+    bool lastWasControl_ = false;
+    Addr dataBrk_ = kDataBase;
+    bool built_ = false;
+};
+
+} // namespace drsim
+
+#endif // DRSIM_WORKLOADS_BUILDER_HH

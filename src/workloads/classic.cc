@@ -1,0 +1,332 @@
+#include "workloads/classic.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "workloads/builder.hh"
+
+namespace drsim {
+
+Program
+makeDaxpy(int n, int reps)
+{
+    if (n < 1 || reps < 1)
+        fatal("daxpy needs positive n and reps");
+    ProgramBuilder b("daxpy");
+    Rng rng(0xdaa);
+    const Addr x = b.allocWords(n);
+    const Addr y = b.allocWords(n);
+    const Addr consts = b.allocWords(1);
+    b.initDouble(consts, 1.0009765625); // the scalar a
+    for (int i = 0; i < n; ++i) {
+        b.initDouble(x + Addr(i) * 8, rng.uniform());
+        b.initDouble(y + Addr(i) * 8, rng.uniform());
+    }
+
+    const RegId px = intReg(1);
+    const RegId py = intReg(2);
+    const RegId icnt = intReg(3);
+    const RegId rcnt = intReg(4);
+    const RegId t0 = intReg(5);
+    const RegId fa = fpReg(1);
+    const RegId fx = fpReg(2);
+    const RegId fy = fpReg(3);
+    const RegId ft = fpReg(4);
+
+    b.li(t0, std::int64_t(consts));
+    b.ldt(fa, t0, 0);
+    b.li(rcnt, reps);
+    const auto repTop = b.here();
+    b.li(px, std::int64_t(x));
+    b.li(py, std::int64_t(y));
+    b.li(icnt, n);
+    const auto top = b.here();
+    b.ldt(fx, px, 0);
+    b.ldt(fy, py, 0);
+    b.fmul(ft, fa, fx);
+    b.fadd(fy, fy, ft);
+    b.stt(fy, py, 0);
+    b.addi(px, px, 8);
+    b.addi(py, py, 8);
+    b.subi(icnt, icnt, 1);
+    b.bne(icnt, top);
+    b.subi(rcnt, rcnt, 1);
+    b.bne(rcnt, repTop);
+    b.halt();
+    return b.build();
+}
+
+Program
+makeSieve(int limit)
+{
+    if (limit < 4)
+        fatal("sieve needs a limit of at least 4");
+    ProgramBuilder b("sieve");
+    // One 8-byte flag word per candidate (simple, load/store heavy).
+    const Addr flags = b.allocWords(limit);
+    for (int i = 2; i < limit; ++i)
+        b.initWord(flags + Addr(i) * 8, 1);
+
+    const RegId base = intReg(1);
+    const RegId p = intReg(2);
+    const RegId m = intReg(3);
+    const RegId count = intReg(20);
+    const RegId lim = intReg(4);
+    const RegId t0 = intReg(5);
+    const RegId t1 = intReg(6);
+    const RegId flag = intReg(7);
+
+    b.li(base, std::int64_t(flags));
+    b.li(lim, limit);
+    b.li(count, 0);
+    b.li(p, 2);
+
+    const auto pTop = b.here();
+    const auto notPrime = b.newLabel();
+    const auto markDone = b.newLabel();
+    const auto markTop = b.newLabel();
+    const auto done = b.newLabel();
+
+    // flag = flags[p]
+    b.slli(t0, p, 3);
+    b.add(t0, t0, base);
+    b.ldq(flag, t0, 0);
+    b.beq(flag, notPrime);
+    b.addi(count, count, 1);
+    // mark multiples from p*p
+    b.mul(m, p, p);
+    b.bind(markTop);
+    b.cmplt(t1, m, lim);
+    b.beq(t1, markDone);
+    b.slli(t0, m, 3);
+    b.add(t0, t0, base);
+    b.stq(intReg(kZeroReg), t0, 0); // flags[m] = 0
+    b.add(m, m, p);
+    b.br(markTop);
+    b.bind(markDone);
+    b.bind(notPrime);
+    b.addi(p, p, 1);
+    b.cmplt(t1, p, lim);
+    b.bne(t1, pTop);
+    b.br(done);
+    b.bind(done);
+    b.halt();
+    return b.build();
+}
+
+Program
+makeQueens(int n)
+{
+    if (n < 4 || n > 16)
+        fatal("queens supports 4 <= n <= 16");
+    ProgramBuilder b("queens");
+    // Explicit per-depth stacks of the classic bitmask formulation.
+    const Addr avail = b.allocWords(n + 1);
+    const Addr cols = b.allocWords(n + 1);
+    const Addr ld = b.allocWords(n + 1);
+    const Addr rd = b.allocWords(n + 1);
+
+    const RegId depth = intReg(1);
+    const RegId full = intReg(2);
+    const RegId pAvail = intReg(3);
+    const RegId pCols = intReg(4);
+    const RegId pLd = intReg(5);
+    const RegId pRd = intReg(6);
+    const RegId av = intReg(7);
+    const RegId bit = intReg(8);
+    const RegId rest = intReg(9);
+    const RegId c = intReg(11);
+    const RegId l = intReg(12);
+    const RegId r = intReg(13);
+    const RegId blocked = intReg(14);
+    const RegId count = intReg(20);
+    const RegId t0 = intReg(15);
+    const RegId t1 = intReg(16);
+    const RegId cond = intReg(17);
+
+    b.li(full, (std::int64_t{1} << n) - 1);
+    b.li(pAvail, std::int64_t(avail));
+    b.li(pCols, std::int64_t(cols));
+    b.li(pLd, std::int64_t(ld));
+    b.li(pRd, std::int64_t(rd));
+    b.li(count, 0);
+    b.li(depth, 0);
+    // cols[0] = ld[0] = rd[0] = 0 (memory reads as zero);
+    // avail[0] = full.
+    b.stq(full, pAvail, 0);
+
+    const auto top = b.here();
+    const auto hasBit = b.newLabel();
+    const auto push = b.newLabel();
+    const auto doneLbl = b.newLabel();
+
+    b.slli(t0, depth, 3);
+    b.add(t1, t0, pAvail);
+    b.ldq(av, t1, 0);
+    b.bne(av, hasBit);
+    // Backtrack: pop a level; finished when depth underflows.
+    b.subi(depth, depth, 1);
+    b.cmplti(cond, depth, 0);
+    b.bne(cond, doneLbl);
+    b.br(top);
+
+    b.bind(hasBit);
+    b.sub(bit, intReg(kZeroReg), av); // -avail
+    b.and_(bit, bit, av);             // lowest set bit
+    b.xor_(rest, av, bit);
+    b.stq(rest, t1, 0);               // consume the bit
+    b.cmpeqi(cond, depth, n - 1);
+    b.beq(cond, push);
+    b.addi(count, count, 1);          // queen on the last row
+    b.br(top);
+
+    b.bind(push);
+    b.add(t1, t0, pCols);
+    b.ldq(c, t1, 0);
+    b.add(t1, t0, pLd);
+    b.ldq(l, t1, 0);
+    b.add(t1, t0, pRd);
+    b.ldq(r, t1, 0);
+    b.or_(c, c, bit);
+    b.or_(l, l, bit);
+    b.slli(l, l, 1);
+    b.and_(l, l, full);
+    b.or_(r, r, bit);
+    b.srli(r, r, 1);
+    b.addi(depth, depth, 1);
+    b.slli(t0, depth, 3);
+    b.add(t1, t0, pCols);
+    b.stq(c, t1, 0);
+    b.add(t1, t0, pLd);
+    b.stq(l, t1, 0);
+    b.add(t1, t0, pRd);
+    b.stq(r, t1, 0);
+    b.or_(blocked, c, l);
+    b.or_(blocked, blocked, r);
+    b.and_(blocked, blocked, full);
+    b.xor_(blocked, blocked, full);   // full & ~(c|l|r)
+    b.add(t1, t0, pAvail);
+    b.stq(blocked, t1, 0);
+    b.br(top);
+
+    b.bind(doneLbl);
+    b.halt();
+    return b.build();
+}
+
+Program
+makeWordCopy(int words, int reps)
+{
+    if (words < 1 || reps < 1)
+        fatal("wordcopy needs positive sizes");
+    ProgramBuilder b("wordcopy");
+    Rng rng(0xc0b1);
+    const Addr src = b.allocWords(words);
+    const Addr dst = b.allocWords(words);
+    for (int i = 0; i < words; ++i)
+        b.initWord(src + Addr(i) * 8, rng.next());
+
+    const RegId ps = intReg(1);
+    const RegId pd = intReg(2);
+    const RegId icnt = intReg(3);
+    const RegId rcnt = intReg(4);
+    const RegId v = intReg(5);
+    const RegId w = intReg(6);
+    const RegId cond = intReg(7);
+    const RegId mism = intReg(20);
+
+    b.li(mism, 0);
+    b.li(rcnt, reps);
+    const auto repTop = b.here();
+    // Copy pass.
+    b.li(ps, std::int64_t(src));
+    b.li(pd, std::int64_t(dst));
+    b.li(icnt, words);
+    const auto copyTop = b.here();
+    b.ldq(v, ps, 0);
+    b.stq(v, pd, 0);
+    b.addi(ps, ps, 8);
+    b.addi(pd, pd, 8);
+    b.subi(icnt, icnt, 1);
+    b.bne(icnt, copyTop);
+    // Compare pass.
+    b.li(ps, std::int64_t(src));
+    b.li(pd, std::int64_t(dst));
+    b.li(icnt, words);
+    const auto cmpTop = b.here();
+    const auto same = b.newLabel();
+    b.ldq(v, ps, 0);
+    b.ldq(w, pd, 0);
+    b.cmpeq(cond, v, w);
+    b.bne(cond, same);
+    b.addi(mism, mism, 1);
+    b.bind(same);
+    b.addi(ps, ps, 8);
+    b.addi(pd, pd, 8);
+    b.subi(icnt, icnt, 1);
+    b.bne(icnt, cmpTop);
+    b.subi(rcnt, rcnt, 1);
+    b.bne(rcnt, repTop);
+    b.halt();
+    return b.build();
+}
+
+Program
+makeWhet(int iters)
+{
+    if (iters < 1)
+        fatal("whet needs a positive iteration count");
+    ProgramBuilder b("whet");
+    const Addr consts = b.allocWords(4);
+    b.initDouble(consts, 1.0);
+    b.initDouble(consts + 8, 0.5);
+    b.initDouble(consts + 16, 2.75);
+    b.initDouble(consts + 24, 0.0625);
+
+    const RegId icnt = intReg(1);
+    const RegId t0 = intReg(2);
+    const RegId c1 = fpReg(1);
+    const RegId c2 = fpReg(2);
+    const RegId c3 = fpReg(3);
+    const RegId c4 = fpReg(4);
+    const RegId x = fpReg(5);
+    const RegId y = fpReg(6);
+    const RegId z = fpReg(7);
+    const RegId t = fpReg(8);
+
+    b.li(t0, std::int64_t(consts));
+    b.ldt(c1, t0, 0);
+    b.ldt(c2, t0, 8);
+    b.ldt(c3, t0, 16);
+    b.ldt(c4, t0, 24);
+    b.fadd(x, c1, c2);   // 1.5
+    b.fadd(y, c2, c4);   // 0.5625
+    b.li(icnt, iters);
+
+    const auto top = b.here();
+    // Module-3-flavoured kernel: x,y cycle through mul/add/div/sqrt.
+    b.fadd(t, x, y);
+    b.fmul(z, t, c2);
+    b.fadd(t, z, c4);
+    b.fsqrt(x, t);       // stays near 1: sqrt of ~1.1
+    b.fmul(t, x, c3);
+    b.fdivd(y, x, t);    // ~1/2.75
+    b.fadd(y, y, c2);
+    b.subi(icnt, icnt, 1);
+    b.bne(icnt, top);
+    b.halt();
+    return b.build();
+}
+
+std::vector<std::pair<std::string, Program>>
+buildClassicSuite()
+{
+    std::vector<std::pair<std::string, Program>> suite;
+    suite.emplace_back("daxpy", makeDaxpy(4096, 8));
+    suite.emplace_back("sieve", makeSieve(4000));
+    suite.emplace_back("queens", makeQueens(9));
+    suite.emplace_back("wordcopy", makeWordCopy(2048, 10));
+    suite.emplace_back("whet", makeWhet(1500));
+    return suite;
+}
+
+} // namespace drsim

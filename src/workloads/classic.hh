@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The classic-kernel workload family: well-known open microkernels
+ * written directly in the drsim ISA.  Unlike the SPEC92-like suite
+ * (tuned to reproduce published signatures), these compute verifiable
+ * results — the eight-queens solution count, the number of primes
+ * below a bound — so they double as end-to-end functional validation
+ * of the ISA, emulator, and timing core, and they provide a second,
+ * independent workload population for the paper's register-file
+ * sweeps.
+ *
+ * Members:
+ *   daxpy    - LINPACK inner loop: y[i] += a * x[i] over streams
+ *   sieve    - Eratosthenes on a flag array (stores + strided loads)
+ *   queens   - N-queens backtracking with an explicit stack
+ *              (call-free, deeply branchy)
+ *   wordcopy - word-wise memcpy/compare (dhrystone-flavoured)
+ *   whet     - whetstone-flavoured fp loop with sqrt/divide chains
+ */
+
+#ifndef DRSIM_WORKLOADS_CLASSIC_HH
+#define DRSIM_WORKLOADS_CLASSIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/program.hh"
+
+namespace drsim {
+
+/** y[i] += a * x[i] over @p n doubles, @p reps passes. */
+Program makeDaxpy(int n, int reps);
+
+/** Sieve of Eratosthenes up to @p limit (odd-only flag words);
+ *  leaves the prime count (including 2) in integer register r20. */
+Program makeSieve(int limit);
+
+/** N-queens for an @p n x n board (n <= 16); leaves the solution
+ *  count in integer register r20. */
+Program makeQueens(int n);
+
+/** Copy and then compare @p words 8-byte words, @p reps passes;
+ *  leaves the mismatch count (expected 0) in r20. */
+Program makeWordCopy(int words, int reps);
+
+/** Whetstone-flavoured floating-point loop, @p iters iterations. */
+Program makeWhet(int iters);
+
+/** The family, at sizes comparable to one suite-scale unit each. */
+std::vector<std::pair<std::string, Program>> buildClassicSuite();
+
+} // namespace drsim
+
+#endif // DRSIM_WORKLOADS_CLASSIC_HH

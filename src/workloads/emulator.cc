@@ -1,0 +1,427 @@
+#include "workloads/emulator.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace drsim {
+
+namespace {
+
+/** Simulated physical address space bound (wrong-path addresses are
+ *  wrapped into it so cache tags stay well-formed). */
+constexpr Addr kAddrMask = (Addr{1} << 44) - 1;
+
+Addr
+canonical(Addr a)
+{
+    return a & kAddrMask & ~Addr{7};
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+Emulator::Emulator(const Program &prog) : Emulator(&prog, nullptr)
+{
+}
+
+Emulator::Emulator(Program &&prog)
+    : Emulator(nullptr,
+               std::make_unique<const Program>(std::move(prog)))
+{
+}
+
+Emulator::Emulator(const Program *external,
+                   std::unique_ptr<const Program> owned)
+    : ownedProg_(std::move(owned)),
+      prog_(external != nullptr ? *external : *ownedProg_)
+{
+    loc_ = prog_.entry();
+    for (const auto &[addr, word] : prog_.initialWords())
+        mem_[addr] = word;
+}
+
+Addr
+Emulator::pc() const
+{
+    if (fetchBlocked())
+        DRSIM_PANIC("pc() while fetch is blocked");
+    return prog_.pcOf(loc_);
+}
+
+const Instruction *
+Emulator::peek() const
+{
+    if (fetchBlocked())
+        return nullptr;
+    return &prog_.instAt(loc_);
+}
+
+std::uint64_t
+Emulator::intVal(RegId r) const
+{
+    if (!r.valid())
+        return 0;
+    return r.index == kZeroReg ? 0 : intRegs_[r.index];
+}
+
+double
+Emulator::fpVal(RegId r) const
+{
+    if (!r.valid())
+        return 0.0;
+    return r.index == kZeroReg ? 0.0 : fpRegs_[r.index];
+}
+
+double
+Emulator::fpRegValue(int idx) const
+{
+    return idx == kZeroReg ? 0.0 : fpRegs_[idx];
+}
+
+std::uint64_t
+Emulator::memWord(Addr addr) const
+{
+    const auto it = mem_.find(canonical(addr));
+    return it == mem_.end() ? 0 : it->second;
+}
+
+void
+Emulator::writeInt(int idx, std::uint64_t bits)
+{
+    if (idx == kZeroReg)
+        return;
+    if (!liveMarks_.empty()) {
+        undo_.push_back({UndoEntry::Kind::IntReg,
+                         std::uint8_t(idx), 0, intRegs_[idx]});
+    }
+    intRegs_[idx] = bits;
+}
+
+void
+Emulator::writeFp(int idx, double value)
+{
+    if (idx == kZeroReg)
+        return;
+    if (!liveMarks_.empty()) {
+        undo_.push_back({UndoEntry::Kind::FpReg, std::uint8_t(idx), 0,
+                         std::bit_cast<std::uint64_t>(fpRegs_[idx])});
+    }
+    fpRegs_[idx] = value;
+}
+
+void
+Emulator::writeMem(Addr addr, std::uint64_t bits)
+{
+    addr = canonical(addr);
+    auto [it, inserted] = mem_.try_emplace(addr, 0);
+    if (!liveMarks_.empty())
+        undo_.push_back({UndoEntry::Kind::Mem, 0, addr, it->second});
+    it->second = bits;
+}
+
+StepInfo
+Emulator::step(bool follow_taken)
+{
+    if (fetchBlocked())
+        DRSIM_PANIC("step() while fetch is blocked");
+
+    const Instruction &inst = prog_.instAt(loc_);
+    StepInfo info;
+    info.inst = &inst;
+    info.pc = prog_.pcOf(loc_);
+    ++steps_;
+
+    const CodeLoc fall = prog_.nextLoc(loc_);
+    const Addr fall_pc = fall.valid() ? prog_.pcOf(fall) : 0;
+
+    // Integer b-operand: src2 if present, else the immediate.
+    const auto bOp = [&]() -> std::uint64_t {
+        return inst.src2.valid() ? intVal(inst.src2)
+                                 : std::uint64_t(inst.imm);
+    };
+
+    CodeLoc next = fall;
+    info.actualNextPc = fall_pc;
+
+    switch (inst.op) {
+      case Opcode::Add:
+        info.destBits = intVal(inst.src1) + bOp();
+        break;
+      case Opcode::Sub:
+        info.destBits = intVal(inst.src1) - bOp();
+        break;
+      case Opcode::And:
+        info.destBits = intVal(inst.src1) & bOp();
+        break;
+      case Opcode::Or:
+        info.destBits = intVal(inst.src1) | bOp();
+        break;
+      case Opcode::Xor:
+        info.destBits = intVal(inst.src1) ^ bOp();
+        break;
+      case Opcode::Sll:
+        info.destBits = intVal(inst.src1) << (bOp() & 63);
+        break;
+      case Opcode::Srl:
+        info.destBits = intVal(inst.src1) >> (bOp() & 63);
+        break;
+      case Opcode::Cmplt:
+        info.destBits = std::int64_t(intVal(inst.src1)) <
+                        std::int64_t(bOp());
+        break;
+      case Opcode::Cmple:
+        info.destBits = std::int64_t(intVal(inst.src1)) <=
+                        std::int64_t(bOp());
+        break;
+      case Opcode::Cmpeq:
+        info.destBits = intVal(inst.src1) == bOp();
+        break;
+      case Opcode::Mul:
+        info.destBits = intVal(inst.src1) * bOp();
+        break;
+
+      case Opcode::Fadd:
+        info.destBits = std::bit_cast<std::uint64_t>(
+            fpVal(inst.src1) + fpVal(inst.src2));
+        break;
+      case Opcode::Fsub:
+        info.destBits = std::bit_cast<std::uint64_t>(
+            fpVal(inst.src1) - fpVal(inst.src2));
+        break;
+      case Opcode::Fmul:
+        info.destBits = std::bit_cast<std::uint64_t>(
+            fpVal(inst.src1) * fpVal(inst.src2));
+        break;
+      case Opcode::Fcmplt:
+        info.destBits = std::bit_cast<std::uint64_t>(
+            fpVal(inst.src1) < fpVal(inst.src2) ? 1.0 : 0.0);
+        break;
+      case Opcode::Itof:
+        info.destBits = std::bit_cast<std::uint64_t>(
+            double(std::int64_t(intVal(inst.src1))));
+        break;
+      case Opcode::Ftoi: {
+        const double v = fpVal(inst.src1);
+        // Arithmetic exceptions are not modeled (paper Section 2);
+        // wrong-path garbage converts to 0 instead of trapping.
+        info.destBits = std::isfinite(v) &&
+                        std::abs(v) < 0x1.0p62
+                            ? std::uint64_t(std::int64_t(v))
+                            : 0;
+        break;
+      }
+      case Opcode::Fdivs: {
+        const float b = float(fpVal(inst.src2));
+        const float a = float(fpVal(inst.src1));
+        info.destBits = std::bit_cast<std::uint64_t>(
+            b == 0.0f ? 0.0 : double(a / b));
+        break;
+      }
+      case Opcode::Fdivd: {
+        const double b = fpVal(inst.src2);
+        info.destBits = std::bit_cast<std::uint64_t>(
+            b == 0.0 ? 0.0 : fpVal(inst.src1) / b);
+        break;
+      }
+      case Opcode::Fsqrt: {
+        const double a = fpVal(inst.src1);
+        info.destBits = std::bit_cast<std::uint64_t>(
+            a < 0.0 ? 0.0 : std::sqrt(a));
+        break;
+      }
+
+      case Opcode::Ldq:
+      case Opcode::Ldt:
+        info.effAddr = canonical(intVal(inst.src1) +
+                                 std::uint64_t(inst.imm));
+        info.destBits = memWord(info.effAddr);
+        break;
+      case Opcode::Stq:
+        info.effAddr = canonical(intVal(inst.src1) +
+                                 std::uint64_t(inst.imm));
+        info.storeBits = intVal(inst.src2);
+        writeMem(info.effAddr, info.storeBits);
+        break;
+      case Opcode::Stt:
+        info.effAddr = canonical(intVal(inst.src1) +
+                                 std::uint64_t(inst.imm));
+        info.storeBits = std::bit_cast<std::uint64_t>(fpVal(inst.src2));
+        writeMem(info.effAddr, info.storeBits);
+        break;
+
+      case Opcode::Beq:
+        info.actualTaken = intVal(inst.src1) == 0;
+        break;
+      case Opcode::Bne:
+        info.actualTaken = intVal(inst.src1) != 0;
+        break;
+      case Opcode::Fbeq:
+        info.actualTaken = fpVal(inst.src1) == 0.0;
+        break;
+      case Opcode::Fbne:
+        info.actualTaken = fpVal(inst.src1) != 0.0;
+        break;
+
+      case Opcode::Br:
+        next = prog_.blockEntryResolved(inst.target);
+        info.actualNextPc = next.valid() ? prog_.pcOf(next) : 0;
+        break;
+      case Opcode::Jsr: {
+        info.destBits = fall_pc;
+        next = prog_.blockEntryResolved(inst.target);
+        info.actualNextPc = next.valid() ? prog_.pcOf(next) : 0;
+        break;
+      }
+      case Opcode::Ret: {
+        const Addr ra = intVal(inst.src1);
+        next = prog_.locOf(ra);
+        info.actualNextPc = ra;
+        break;
+      }
+
+      case Opcode::Halt:
+        info.isHalt = true;
+        next = {};
+        info.actualNextPc = 0;
+        break;
+    }
+
+    if (inst.isCondBranch()) {
+        const CodeLoc tgt = prog_.blockEntryResolved(inst.target);
+        if (!tgt.valid())
+            DRSIM_PANIC("conditional branch to empty tail");
+        info.actualNextPc = info.actualTaken ? prog_.pcOf(tgt) : fall_pc;
+        next = follow_taken ? tgt : fall;
+    }
+
+    if (inst.dest.renamed()) {
+        if (inst.dest.cls == RegClass::Int)
+            writeInt(inst.dest.index, info.destBits);
+        else
+            writeFp(inst.dest.index,
+                    std::bit_cast<double>(info.destBits));
+    }
+
+    loc_ = next;
+    return info;
+}
+
+StepInfo
+Emulator::stepArch()
+{
+    if (fetchBlocked())
+        DRSIM_PANIC("stepArch() while fetch is blocked");
+    const Instruction &inst = prog_.instAt(loc_);
+    bool taken = false;
+    if (inst.isCondBranch()) {
+        switch (inst.op) {
+          case Opcode::Beq:
+            taken = intVal(inst.src1) == 0;
+            break;
+          case Opcode::Bne:
+            taken = intVal(inst.src1) != 0;
+            break;
+          case Opcode::Fbeq:
+            taken = fpVal(inst.src1) == 0.0;
+            break;
+          case Opcode::Fbne:
+            taken = fpVal(inst.src1) != 0.0;
+            break;
+          default:
+            break;
+        }
+    }
+    return step(taken);
+}
+
+EmuCheckpoint
+Emulator::takeCheckpoint()
+{
+    const std::uint64_t mark = undoBase_ + undo_.size();
+    ++liveMarks_[mark];
+    return mark;
+}
+
+void
+Emulator::releaseCheckpoint(EmuCheckpoint cp)
+{
+    const auto it = liveMarks_.find(cp);
+    if (it == liveMarks_.end())
+        DRSIM_PANIC("release of unknown checkpoint ", cp);
+    if (--it->second == 0)
+        liveMarks_.erase(it);
+    pruneUndo();
+}
+
+void
+Emulator::pruneUndo()
+{
+    const std::uint64_t keep_from =
+        liveMarks_.empty() ? undoBase_ + undo_.size()
+                           : liveMarks_.begin()->first;
+    while (!undo_.empty() && undoBase_ < keep_from) {
+        undo_.pop_front();
+        ++undoBase_;
+    }
+}
+
+void
+Emulator::rollbackTo(EmuCheckpoint cp, Addr resume_pc)
+{
+    if (!liveMarks_.empty() && liveMarks_.rbegin()->first > cp)
+        DRSIM_PANIC("rollback below a younger live checkpoint");
+    while (undoBase_ + undo_.size() > cp) {
+        if (undo_.empty())
+            DRSIM_PANIC("undo log underflow rolling back to ", cp);
+        const UndoEntry e = undo_.back();
+        undo_.pop_back();
+        switch (e.kind) {
+          case UndoEntry::Kind::IntReg:
+            intRegs_[e.regIndex] = e.oldBits;
+            break;
+          case UndoEntry::Kind::FpReg:
+            fpRegs_[e.regIndex] = std::bit_cast<double>(e.oldBits);
+            break;
+          case UndoEntry::Kind::Mem:
+            mem_[e.addr] = e.oldBits;
+            break;
+        }
+    }
+    loc_ = prog_.locOf(resume_pc);
+    if (!loc_.valid())
+        DRSIM_PANIC("rollback resume pc ", resume_pc, " is not code");
+}
+
+std::uint64_t
+Emulator::stateHash() const
+{
+    std::uint64_t h = 0x12345678;
+    for (int i = 0; i < kNumVirtualRegs; ++i) {
+        h ^= mix64(intRegs_[i] + std::uint64_t(i) * 0x9e37);
+        h ^= mix64(std::bit_cast<std::uint64_t>(fpRegs_[i]) +
+                   std::uint64_t(i) * 0xabcd);
+    }
+    // Memory digest must be order-independent (unordered_map).
+    // Zero words are skipped: unmapped memory reads as zero, so a
+    // zero-valued entry (e.g. left by a rolled-back wrong-path store
+    // to a fresh address) is semantically absent.
+    for (const auto &[addr, word] : mem_) {
+        if (word != 0)
+            h ^= mix64(addr * 0x9e3779b97f4a7c15ull ^ mix64(word));
+    }
+    return h;
+}
+
+} // namespace drsim

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Architectural emulator: the functional half of the execution-driven
+ * simulation.
+ *
+ * The timing core calls step() once per fetched instruction, so the
+ * emulator's state follows the *speculative* fetch path — including
+ * wrong paths after a mispredicted branch.  A checkpoint is taken at
+ * every conditional branch; when the timing core detects the
+ * misprediction at branch execution it rolls the emulator back to the
+ * checkpoint and resumes fetch down the correct path.
+ *
+ * Rollback uses a single undo log (register writes and memory writes)
+ * rather than full state snapshots, so checkpoints are just marks into
+ * that log.  Entries older than the oldest live checkpoint are pruned.
+ */
+
+#ifndef DRSIM_WORKLOADS_EMULATOR_HH
+#define DRSIM_WORKLOADS_EMULATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "workloads/program.hh"
+
+namespace drsim {
+
+/** Everything the timing model needs to know about one executed step. */
+struct StepInfo
+{
+    const Instruction *inst = nullptr;
+    Addr pc = 0;
+    /** Raw bits written to the destination register (if any). */
+    std::uint64_t destBits = 0;
+    /** Effective address of a memory operation (8-byte aligned). */
+    Addr effAddr = 0;
+    /** Raw bits a store writes to memory. */
+    std::uint64_t storeBits = 0;
+    /** Conditional branches: the outcome on the current fetch path. */
+    bool actualTaken = false;
+    /** PC execution proceeds to if the instruction is followed
+     *  architecturally (i.e. the *correct* next PC). */
+    Addr actualNextPc = 0;
+    bool isHalt = false;
+};
+
+/** Opaque checkpoint handle (a mark into the undo log). */
+using EmuCheckpoint = std::uint64_t;
+
+class Emulator
+{
+  public:
+    /** The caller keeps @p prog alive for the emulator's lifetime. */
+    explicit Emulator(const Program &prog);
+
+    /** Owning overload: safe to pass a temporary Program. */
+    explicit Emulator(Program &&prog);
+
+    /**
+     * True when no instruction can be fetched: the program halted on
+     * the current path, or a wrong-path indirect jump left the PC
+     * outside the code segment.  Cleared by rollback().
+     */
+    bool fetchBlocked() const { return !loc_.valid(); }
+
+    /** PC of the next instruction to fetch (only if !fetchBlocked()). */
+    Addr pc() const;
+
+    /** Instruction at the current PC, or nullptr if fetch is blocked. */
+    const Instruction *peek() const;
+
+    /**
+     * Execute the instruction at the current PC and advance.
+     * Conditional branches advance down the direction @p follow_taken
+     * (the predicted direction); all other instructions advance
+     * architecturally.
+     */
+    StepInfo step(bool follow_taken);
+
+    /** Convenience for functional-only runs: follow actual outcomes. */
+    StepInfo stepArch();
+
+    /// @name Checkpointing for wrong-path recovery
+    /// @{
+    /** Mark the current state (call just before stepping a branch). */
+    EmuCheckpoint takeCheckpoint();
+
+    /** Discard a checkpoint (branch completed or was squashed). */
+    void releaseCheckpoint(EmuCheckpoint cp);
+
+    /**
+     * Undo all state changes made after @p cp and resume fetching at
+     * @p resume_pc.  All checkpoints younger than @p cp must have been
+     * released first.
+     */
+    void rollbackTo(EmuCheckpoint cp, Addr resume_pc);
+
+    /** Number of live checkpoints (for tests). */
+    std::size_t liveCheckpoints() const { return liveMarks_.size(); }
+
+    /** Undo-log entries currently retained (for tests). */
+    std::size_t undoLogSize() const { return undo_.size(); }
+    /// @}
+
+    /// @name State inspection (tests, examples)
+    /// @{
+    std::uint64_t intRegBits(int idx) const { return intRegs_[idx]; }
+    double fpRegValue(int idx) const;
+    std::uint64_t memWord(Addr addr) const;
+    std::uint64_t stepsExecuted() const { return steps_; }
+    /** Order-independent digest of registers + memory, for tests. */
+    std::uint64_t stateHash() const;
+    /// @}
+
+  private:
+    Emulator(const Program *external,
+             std::unique_ptr<const Program> owned);
+
+    struct UndoEntry
+    {
+        enum class Kind : std::uint8_t { IntReg, FpReg, Mem };
+        Kind kind;
+        std::uint8_t regIndex;
+        Addr addr;
+        std::uint64_t oldBits;
+    };
+
+    std::uint64_t intVal(RegId r) const;
+    double fpVal(RegId r) const;
+    void writeInt(int idx, std::uint64_t bits);
+    void writeFp(int idx, double value);
+    void writeMem(Addr addr, std::uint64_t bits);
+    void pruneUndo();
+
+    /** Set only by the owning constructor. */
+    std::unique_ptr<const Program> ownedProg_;
+    const Program &prog_;
+    CodeLoc loc_;
+    std::array<std::uint64_t, kNumVirtualRegs> intRegs_{};
+    std::array<double, kNumVirtualRegs> fpRegs_{};
+    std::unordered_map<Addr, std::uint64_t> mem_;
+    std::uint64_t steps_ = 0;
+
+    std::deque<UndoEntry> undo_;
+    /** Global index of undo_.front(). */
+    std::uint64_t undoBase_ = 0;
+    /** Live checkpoint marks -> reference count. */
+    std::map<std::uint64_t, int> liveMarks_;
+};
+
+} // namespace drsim
+
+#endif // DRSIM_WORKLOADS_EMULATOR_HH

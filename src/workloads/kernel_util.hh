@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared emission helpers for the synthetic SPEC92-like kernels.
+ */
+
+#ifndef DRSIM_WORKLOADS_KERNEL_UTIL_HH
+#define DRSIM_WORKLOADS_KERNEL_UTIL_HH
+
+#include "common/random.hh"
+#include "workloads/builder.hh"
+
+namespace drsim {
+namespace kutil {
+
+/**
+ * Emit an in-register xorshift64 update of @p x using @p tmp
+ * (6 IntAlu instructions).  This is the kernels' source of
+ * data-dependent, predictor-resistant values.
+ */
+inline void
+emitXorshift(ProgramBuilder &b, RegId x, RegId tmp)
+{
+    b.slli(tmp, x, 13);
+    b.xor_(x, x, tmp);
+    b.srli(tmp, x, 7);
+    b.xor_(x, x, tmp);
+    b.slli(tmp, x, 17);
+    b.xor_(x, x, tmp);
+}
+
+/**
+ * Emit "cond = ((src >> shift) & 63) < threshold" into @p cond using
+ * @p tmp.  A following bne(cond, L) branches with probability roughly
+ * threshold/64 when src is pseudo-random (3 IntAlu instructions).
+ */
+inline void
+emitChance(ProgramBuilder &b, RegId cond, RegId src, int shift,
+           int threshold, RegId tmp)
+{
+    b.srli(tmp, src, shift);
+    b.andi(tmp, tmp, 63);
+    b.cmplti(cond, tmp, threshold);
+}
+
+/**
+ * Insert an odd-sized pad between large array allocations so
+ * same-index elements of consecutive arrays do not land in the same
+ * cache set (arrays allocated back-to-back at way-size multiples would
+ * thrash a 2-way cache pathologically).
+ */
+inline void
+staggerPad(ProgramBuilder &b, int chunk)
+{
+    b.allocWords(std::size_t(chunk) * 136 + 40);
+}
+
+/** Fill @p nwords words starting at @p base with random 64-bit data. */
+inline void
+initRandomWords(ProgramBuilder &b, Addr base, std::size_t nwords,
+                Rng &rng)
+{
+    for (std::size_t i = 0; i < nwords; ++i)
+        b.initWord(base + i * 8, rng.next());
+}
+
+/** Fill @p nwords doubles starting at @p base with values in [lo, hi). */
+inline void
+initRandomDoubles(ProgramBuilder &b, Addr base, std::size_t nwords,
+                  Rng &rng, double lo, double hi)
+{
+    for (std::size_t i = 0; i < nwords; ++i)
+        b.initDouble(base + i * 8, lo + rng.uniform() * (hi - lo));
+}
+
+} // namespace kutil
+} // namespace drsim
+
+#endif // DRSIM_WORKLOADS_KERNEL_UTIL_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * compress-like kernel: an LZW-flavoured hash-table loop.
+ *
+ * SPEC92 signature targeted (paper Table 1, 4-way):
+ *   load miss rate ~15%  -> one pseudo-random probe into a 256 KB code
+ *                           table per iteration, diluted by four loads
+ *                           that hit in an 8 KB window buffer;
+ *   cbr mispredict ~14%  -> one data-dependent "code match" branch
+ *                           (~31% taken, predictor-resistant) mixed
+ *                           with two well-predicted branches;
+ *   loads ~20-23% of executed instructions, integer-only data path.
+ */
+
+#include "workloads/kernel_util.hh"
+#include "workloads/kernels.hh"
+
+namespace drsim {
+
+Program
+makeCompress(int scale, std::uint64_t seed)
+{
+    ProgramBuilder b("compress");
+    Rng rng(0xc0311e55 ^ (seed * 0x9e3779b97f4a7c15ull));
+
+    constexpr int kTableWords = 32768;  // 256 KB code table
+    constexpr int kWindowWords = 1024;  // 8 KB window (always hits)
+    const Addr table = b.allocWords(kTableWords);
+    const Addr window = b.allocWords(kWindowWords);
+    kutil::initRandomWords(b, table, kTableWords, rng);
+    kutil::initRandomWords(b, window, kWindowWords, rng);
+
+    const RegId x = intReg(1);       // xorshift state
+    const RegId prev = intReg(2);    // previous code
+    const RegId tbl = intReg(3);
+    const RegId win = intReg(4);
+    const RegId count = intReg(5);
+    const RegId sym = intReg(6);
+    const RegId hash = intReg(7);
+    const RegId taddr = intReg(8);
+    const RegId code = intReg(9);
+    const RegId widx = intReg(10);
+    const RegId w0 = intReg(11);
+    const RegId w1 = intReg(12);
+    const RegId w2 = intReg(13);
+    const RegId wsum = intReg(14);
+    const RegId t0 = intReg(15);
+    const RegId t1 = intReg(16);
+    const RegId cond = intReg(17);
+
+    b.li(x, 0x1234'5678'9abcull);
+    b.li(prev, 0);
+    b.li(tbl, std::int64_t(table));
+    b.li(win, std::int64_t(window));
+    b.li(count, std::int64_t(scale) * 360);
+
+    const auto top = b.here();
+    const auto match = b.newLabel();
+    const auto join = b.newLabel();
+
+    kutil::emitXorshift(b, x, t0);              // 6 insts
+    b.andi(sym, x, 255);                        // next input symbol
+    // hash = ((prev << 5) ^ sym ^ (x >> 13)) & (kTableWords - 1)
+    b.slli(hash, prev, 5);
+    b.xor_(hash, hash, sym);
+    b.srli(t0, x, 13);
+    b.xor_(hash, hash, t0);
+    b.andi(hash, hash, kTableWords - 1);
+    b.slli(taddr, hash, 3);
+    b.add(taddr, taddr, tbl);
+    b.ldq(code, taddr, 0);                      // table probe: often a miss
+    // Window traffic: three hit loads plus some integer work.
+    b.andi(widx, count, kWindowWords - 1);
+    b.slli(widx, widx, 3);
+    b.add(widx, widx, win);
+    b.ldq(w0, widx, 0);
+    b.ldq(w1, widx, 8);
+    b.ldq(w2, widx, 16);
+    b.ldq(t1, widx, 24);
+    b.add(wsum, w0, w1);
+    b.xor_(wsum, wsum, w2);
+    b.add(wsum, wsum, t1);
+    // Data-dependent match test: taken with probability ~20/64.
+    b.xor_(t1, code, sym);
+    kutil::emitChance(b, cond, t1, 0, 20, t0);
+    b.bne(cond, match);
+
+    // Mismatch: install the new code and continue from the symbol.
+    b.stq(sym, taddr, 0);
+    b.mov(prev, sym);
+    b.br(join);
+
+    b.bind(match);
+    // Match: extend the phrase; fold window data into the new code.
+    b.addi(prev, code, 1);
+    b.andi(prev, prev, 0xffff);
+    b.stq(wsum, widx, 0);
+
+    b.bind(join);
+    b.subi(count, count, 1);
+    b.bne(count, top);
+    b.halt();
+    return b.build();
+}
+
+} // namespace drsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * doduc-like kernel: Monte-Carlo-ish floating-point simulation with a
+ * small, cache-resident working set.
+ *
+ * SPEC92 signature targeted (paper Table 1, 4-way):
+ *   load miss rate ~1%   -> all table lookups land in 16 KB of data;
+ *   cbr mispredict ~10%  -> one moderately random branch (~25% taken)
+ *                           plus a rare divide-guard branch and two
+ *                           predictable loop branches;
+ *   FP-heavy mix with occasional double-precision divides.
+ */
+
+#include "workloads/kernel_util.hh"
+#include "workloads/kernels.hh"
+
+namespace drsim {
+
+Program
+makeDoduc(int scale, std::uint64_t seed)
+{
+    ProgramBuilder b("doduc");
+    Rng rng(0xd0d0c ^ (seed * 0x9e3779b97f4a7c15ull));
+
+    constexpr int kTabWords = 1024; // 8 KB per table
+    const Addr tabA = b.allocWords(kTabWords);
+    const Addr tabB = b.allocWords(kTabWords);
+    kutil::initRandomDoubles(b, tabA, kTabWords, rng, 0.25, 2.0);
+    kutil::initRandomDoubles(b, tabB, kTabWords, rng, 0.25, 2.0);
+
+    const RegId x = intReg(1);
+    const RegId baseA = intReg(2);
+    const RegId baseB = intReg(3);
+    const RegId count = intReg(4);
+    const RegId ia = intReg(5);
+    const RegId ib = intReg(6);
+    const RegId t0 = intReg(7);
+    const RegId cond = intReg(8);
+
+    const RegId fa = fpReg(1);
+    const RegId fb = fpReg(2);
+    const RegId fc = fpReg(3);
+    const RegId fd = fpReg(4);
+    const RegId acc = fpReg(5);
+    const RegId acc2 = fpReg(6);
+    const RegId fdiv = fpReg(7);
+    const RegId fone = fpReg(8);
+    const RegId ftmp = fpReg(9);
+
+    b.li(x, 0xd0d0'cafe'f00dull);
+    b.li(baseA, std::int64_t(tabA));
+    b.li(baseB, std::int64_t(tabB));
+    b.li(count, std::int64_t(scale) * 320);
+    b.li(t0, 1);
+    b.itof(fone, t0);
+    b.fadd(acc, fone, fone);
+    b.fadd(acc2, fone, fone);
+
+    const auto top = b.here();
+    const auto nodiv = b.newLabel();
+    const auto low = b.newLabel();
+    const auto join = b.newLabel();
+
+    kutil::emitXorshift(b, x, t0);
+    b.andi(ia, x, kTabWords - 1);
+    b.slli(ia, ia, 3);
+    b.add(ia, ia, baseA);
+    b.ldt(fa, ia, 0);                       // hit
+    b.srli(ib, x, 10);
+    b.andi(ib, ib, kTabWords - 1);
+    b.slli(ib, ib, 3);
+    b.add(ib, ib, baseB);
+    b.ldt(fb, ib, 0);                       // hit
+    b.ldt(ftmp, ia, 8);                     // hit
+    b.fmul(fc, fa, fb);
+    b.fadd(acc, acc, fc);
+    b.fmul(fd, fc, ftmp);
+    b.fadd(acc2, acc2, fd);
+    // Rare divide: taken with probability ~6/64.
+    kutil::emitChance(b, cond, x, 20, 6, t0);
+    b.beq(cond, nodiv);
+    b.fadd(ftmp, acc2, fone);
+    b.fdivd(fdiv, acc, ftmp);
+    b.fadd(acc, fdiv, fone);
+    b.bind(nodiv);
+    // Moderately random direction: taken with probability ~11/64.
+    kutil::emitChance(b, cond, x, 26, 11, t0);
+    b.bne(cond, low);
+    b.fadd(acc2, acc2, fc);
+    b.stt(acc, ia, 0);
+    b.br(join);
+    b.bind(low);
+    b.fsub(acc2, acc2, fd);
+    b.stt(acc2, ib, 0);
+    b.bind(join);
+    // Keep the accumulators bounded so branches stay data-driven.
+    b.fmul(acc, acc, fone);
+    b.subi(count, count, 1);
+    b.bne(count, top);
+    b.halt();
+    return b.build();
+}
+
+} // namespace drsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * espresso-like kernel: boolean-cube cover manipulation over small,
+ * cache-resident bit-set arrays.
+ *
+ * SPEC92 signature targeted (paper Table 1, 4-way):
+ *   load miss rate ~1%    -> 32 KB of cube data, fully cached;
+ *   cbr mispredict ~13%   -> one predictor-resistant nibble test per
+ *                            iteration (~31% taken) plus a biased
+ *                            sparsity test and two predictable
+ *                            branches;
+ *   branch-rich integer mix (~15% conditional branches).
+ */
+
+#include "workloads/kernel_util.hh"
+#include "workloads/kernels.hh"
+
+namespace drsim {
+
+Program
+makeEspresso(int scale, std::uint64_t seed)
+{
+    ProgramBuilder b("espresso");
+    Rng rng(0xe59e550 ^ (seed * 0x9e3779b97f4a7c15ull));
+
+    constexpr int kCubeWords = 1024; // 8 KB per cover
+    const Addr coverA = b.allocWords(kCubeWords);
+    const Addr coverB = b.allocWords(kCubeWords);
+    kutil::initRandomWords(b, coverA, kCubeWords, rng);
+    kutil::initRandomWords(b, coverB, kCubeWords, rng);
+
+    const RegId idx = intReg(1);
+    const RegId baseA = intReg(2);
+    const RegId baseB = intReg(3);
+    const RegId count = intReg(4);
+    const RegId a = intReg(5);
+    const RegId bb = intReg(6);
+    const RegId meet = intReg(7);
+    const RegId join_ = intReg(8);
+    const RegId nib = intReg(9);
+    const RegId pop = intReg(10);
+    const RegId addr = intReg(11);
+    const RegId t0 = intReg(12);
+    const RegId cond = intReg(13);
+    const RegId phase = intReg(14);
+
+    b.li(baseA, std::int64_t(coverA));
+    b.li(baseB, std::int64_t(coverB));
+    b.li(count, std::int64_t(scale) * 400);
+    b.li(idx, 0);
+    b.li(pop, 0);
+    b.li(phase, 0);
+
+    const auto top = b.here();
+    const auto sparse = b.newLabel();
+    const auto skipNib = b.newLabel();
+    const auto noPhase = b.newLabel();
+    const auto join = b.newLabel();
+
+    b.andi(t0, idx, kCubeWords - 1);
+    b.slli(addr, t0, 3);
+    b.add(addr, addr, baseA);
+    b.ldq(a, addr, 0);                        // hit
+    b.sub(t0, addr, baseA);
+    b.add(t0, t0, baseB);
+    b.ldq(bb, t0, 0);                         // hit
+    b.ldq(cond, addr, 8);                     // hit (second word)
+    b.xor_(pop, pop, cond);
+    b.and_(meet, a, bb);
+    b.or_(join_, a, bb);
+    b.xor_(t0, meet, join_);
+    b.add(pop, pop, t0);
+    // Predictor-resistant nibble test: taken with probability ~16/64.
+    b.srli(nib, meet, 7);
+    b.andi(nib, nib, 63);
+    b.cmplti(cond, nib, 16);
+    b.bne(cond, skipNib);
+    b.srli(t0, join_, 11);
+    b.xor_(pop, pop, t0);
+    b.bind(skipNib);
+    // Sparsity check, biased: taken with probability ~4/64.
+    kutil::emitChance(b, cond, join_, 29, 2, t0);
+    b.bne(cond, sparse);
+    b.slli(t0, meet, 1);
+    b.or_(pop, pop, t0);
+    b.br(join);
+    b.bind(sparse);
+    b.stq(join_, addr, 0);                    // install reduced cube
+    b.xor_(pop, pop, join_);
+    b.bind(join);
+    // Phase toggle with period 8: taken 7/8, history-polluted so the
+    // bimodal component carries it (~12% mispredict).
+    b.addi(phase, phase, 1);
+    b.andi(t0, phase, 7);
+    b.bne(t0, noPhase);
+    b.stq(pop, addr, 8);
+    b.bind(noPhase);
+    b.addi(idx, idx, 7);                      // stride keeps sets varied
+    b.subi(count, count, 1);
+    b.bne(count, top);
+    b.halt();
+    return b.build();
+}
+
+} // namespace drsim

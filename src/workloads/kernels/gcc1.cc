@@ -1,0 +1,129 @@
+/**
+ * @file
+ * gcc1-like kernel: irregular pointer-chasing over small linked
+ * structures with hard-to-predict control flow and a helper routine
+ * reached by call/return.
+ *
+ * SPEC92 signature targeted (paper Table 1, 4-way):
+ *   load miss rate ~1%     -> a 16 KB node pool, fully cached;
+ *   cbr mispredict ~19-20% -> one essentially random dispatch branch
+ *                             (~50% taken), one weakly biased branch
+ *                             (~16% taken), a biased call guard, and
+ *                             a predictable loop branch.  Branch
+ *                             conditions mix an xorshift stream with
+ *                             loaded node data so the outcome sequence
+ *                             never settles into a learnable period;
+ *   loads ~22% of executed instructions, integer-only.
+ */
+
+#include "workloads/kernel_util.hh"
+#include "workloads/kernels.hh"
+
+namespace drsim {
+
+Program
+makeGcc1(int scale, std::uint64_t seed)
+{
+    ProgramBuilder b("gcc1");
+    Rng rng(0x9cc1 ^ (seed * 0x9e3779b97f4a7c15ull));
+
+    // Node pool: 512 nodes x 4 words (next, kind, value, aux) = 16 KB.
+    constexpr int kNodes = 512;
+    const Addr pool = b.allocWords(kNodes * 4);
+    constexpr int kSymWords = 32768; // 256 KB symbol table
+    const Addr sym = b.allocWords(kSymWords);
+    for (int i = 0; i < kNodes; ++i) {
+        const Addr node = pool + Addr(i) * 32;
+        const int next = int(rng.below(kNodes));
+        b.initWord(node + 0, pool + Addr(next) * 32);
+        b.initWord(node + 8, rng.next());
+        b.initWord(node + 16, rng.next());
+        b.initWord(node + 24, rng.next());
+    }
+
+    const RegId x = intReg(11);      // xorshift entropy stream
+    const RegId node = intReg(1);
+    const RegId count = intReg(2);
+    const RegId kind = intReg(3);
+    const RegId value = intReg(4);
+    const RegId aux = intReg(5);
+    const RegId sum = intReg(6);
+    const RegId t0 = intReg(7);
+    const RegId cond = intReg(8);
+    const RegId link = intReg(26);
+    const RegId harg = intReg(9);
+    const RegId hres = intReg(10);
+
+    const auto helper = b.newLabel();
+    const auto start = b.newLabel();
+
+    b.br(start);
+
+    // Helper routine: fold an operand (models a tiny tree-walk step).
+    b.bind(helper);
+    b.slli(hres, harg, 3);
+    b.xor_(hres, hres, harg);
+    b.srli(t0, hres, 9);
+    b.add(hres, hres, t0);
+    b.ret(link);
+
+    b.bind(start);
+    b.li(node, std::int64_t(pool));
+    b.li(count, std::int64_t(scale) * 340);
+    b.li(sum, 0);
+    b.li(x, 0x9cc1'feed'beefll);
+
+    const auto top = b.here();
+    const auto elsePath = b.newLabel();
+    const auto skipAux = b.newLabel();
+    const auto noCall = b.newLabel();
+    const auto join = b.newLabel();
+
+    b.ldq(kind, node, 8);                      // hit
+    b.ldq(value, node, 16);                    // hit
+    kutil::emitXorshift(b, x, t0);
+    // Essentially random dispatch (p ~ 32/64): node data xor entropy.
+    b.xor_(t0, kind, x);
+    b.srli(t0, t0, 9);
+    b.andi(t0, t0, 63);
+    b.cmplti(cond, t0, 32);
+    b.bne(cond, elsePath);
+    b.add(sum, sum, value);
+    b.ldq(aux, node, 24);                      // hit
+    b.xor_(sum, sum, aux);
+    b.br(join);
+    b.bind(elsePath);
+    b.sub(sum, sum, value);
+    // Weakly biased test (p ~ 16/64 taken).
+    b.xor_(t0, value, x);
+    b.srli(t0, t0, 23);
+    b.andi(t0, t0, 63);
+    b.cmplti(cond, t0, 16);
+    b.beq(cond, skipAux);
+    b.ldq(aux, node, 24);                      // hit
+    b.add(sum, sum, aux);
+    b.bind(skipAux);
+    b.bind(join);
+    // Occasional helper call (p ~ 8/64), perfectly predicted control.
+    kutil::emitChance(b, cond, x, 37, 8, t0);
+    b.beq(cond, noCall);
+    b.mov(harg, sum);
+    b.jsr(link, helper);
+    b.add(sum, sum, hres);
+    b.stq(sum, node, 16);                      // occasional node update
+    // Rare symbol-table lookup: the source of gcc1's ~1% miss rate.
+    b.srli(t0, x, 19);
+    b.andi(t0, t0, kSymWords - 1);
+    b.slli(t0, t0, 3);
+    b.addi(t0, t0, std::int64_t(sym));
+    b.ldq(aux, t0, 0);
+    b.xor_(sum, sum, aux);
+    b.bind(noCall);
+    b.ldq(node, node, 0);                      // chase next pointer
+    b.subi(count, count, 1);
+    b.bne(count, top);
+    b.halt();
+    return b.build();
+}
+
+} // namespace drsim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * mdljdp2-like kernel: double-precision molecular-dynamics pair loop
+ * (Lennard-Jones-flavoured) with a cutoff test.
+ *
+ * SPEC92 signature targeted (paper Table 1, 4-way):
+ *   load miss rate ~3%   -> coordinates fit in the cache; a sparse
+ *                           pseudo-random probe into a 512 KB neighbor
+ *                           table supplies the residual misses;
+ *   cbr mispredict ~6%   -> a ~88/12 biased cutoff branch plus a
+ *                           predictable loop branch;
+ *   double-precision FP with occasional fdivd in the cutoff path.
+ */
+
+#include "workloads/kernel_util.hh"
+#include "workloads/kernels.hh"
+
+namespace drsim {
+
+Program
+makeMdljdp2(int scale, std::uint64_t seed)
+{
+    ProgramBuilder b("mdljdp2");
+    Rng rng(0x3d1d9 ^ (seed * 0x9e3779b97f4a7c15ull));
+
+    constexpr int kParticles = 1024;        // 3 x 8 KB coordinates
+    constexpr int kBigWords = 65536;        // 512 KB neighbor table
+    const Addr px = b.allocWords(kParticles);
+    kutil::staggerPad(b, 1);
+    const Addr py = b.allocWords(kParticles);
+    kutil::staggerPad(b, 2);
+    const Addr pz = b.allocWords(kParticles);
+    kutil::staggerPad(b, 3);
+    const Addr fx = b.allocWords(kParticles);
+    const Addr big = b.allocWords(kBigWords);
+    kutil::initRandomDoubles(b, px, kParticles, rng, -4.0, 4.0);
+    kutil::initRandomDoubles(b, py, kParticles, rng, -4.0, 4.0);
+    kutil::initRandomDoubles(b, pz, kParticles, rng, -4.0, 4.0);
+    kutil::initRandomDoubles(b, big, kBigWords, rng, 0.5, 1.5);
+
+    const RegId x = intReg(1);
+    const RegId bx = intReg(2);
+    const RegId by = intReg(3);
+    const RegId bz = intReg(4);
+    const RegId bbig = intReg(5);
+    const RegId bfx = intReg(12);
+    const RegId count = intReg(6);
+    const RegId j = intReg(7);
+    const RegId ja = intReg(8);
+    const RegId t0 = intReg(9);
+    const RegId cond = intReg(10);
+    const RegId bigAddr = intReg(11);
+
+    const RegId xi = fpReg(1);
+    const RegId yi = fpReg(2);
+    const RegId zi = fpReg(3);
+    const RegId xj = fpReg(4);
+    const RegId yj = fpReg(5);
+    const RegId zj = fpReg(6);
+    const RegId dx = fpReg(7);
+    const RegId dy = fpReg(8);
+    const RegId dz = fpReg(9);
+    const RegId r2 = fpReg(10);
+    const RegId cut = fpReg(11);
+    const RegId fax = fpReg(12);
+    const RegId inv = fpReg(13);
+    const RegId w = fpReg(14);
+    const RegId ftmp = fpReg(15);
+    const RegId fcond = fpReg(16);
+
+    b.li(x, 0x3d1d'0beaull);
+    b.li(bx, std::int64_t(px));
+    b.li(by, std::int64_t(py));
+    b.li(bz, std::int64_t(pz));
+    b.li(bbig, std::int64_t(big));
+    b.li(bfx, std::int64_t(fx));
+    b.li(count, std::int64_t(scale) * 330);
+    b.li(j, 0);
+    // Reference particle coordinates and cutoff radius^2 (~12% hit).
+    b.ldt(xi, bx, 0);
+    b.ldt(yi, by, 0);
+    b.ldt(zi, bz, 0);
+    b.li(t0, 6);
+    b.itof(cut, t0);
+    b.fadd(fax, cut, cut);
+
+    const auto top = b.here();
+    const auto far = b.newLabel();
+    const auto noProbe = b.newLabel();
+
+    // Walk the j particles cyclically (cache-resident coordinates).
+    b.andi(t0, j, kParticles - 1);
+    b.slli(ja, t0, 3);
+    b.add(t0, ja, bx);
+    b.ldt(xj, t0, 0);                          // hit
+    b.add(t0, ja, by);
+    b.ldt(yj, t0, 0);                          // hit
+    b.add(t0, ja, bz);
+    b.ldt(zj, t0, 0);                          // hit
+    b.fsub(dx, xi, xj);
+    b.fsub(dy, yi, yj);
+    b.fsub(dz, zi, zj);
+    b.fmul(r2, dx, dx);
+    b.fmul(ftmp, dy, dy);
+    b.fadd(r2, r2, ftmp);
+    b.fmul(ftmp, dz, dz);
+    b.fadd(r2, r2, ftmp);
+    // Cutoff: r2 < cut ~12% of pairs (biased, lightly mispredicted).
+    b.fcmplt(fcond, r2, cut);
+    b.fbeq(fcond, far);
+    b.fdivd(inv, cut, r2);                     // rare expensive path
+    b.fmul(w, inv, inv);
+    b.fmul(ftmp, w, dx);
+    b.fadd(fax, fax, ftmp);
+    b.bind(far);
+    // Serial force accumulation: the long dependent-add chain through
+    // the 3-cycle FP adder that holds mdljdp2's IPC near the paper's
+    // 2.1-2.3 (each pair's contribution folds into one running sum).
+    b.fadd(fax, fax, dx);
+    b.fadd(fax, fax, dy);
+    b.fadd(fax, fax, dz);
+    b.fadd(fax, fax, xj);
+    b.fadd(fax, fax, yj);
+    // Sparse neighbor-table probe: p ~ 2/64 of iterations miss-prone.
+    kutil::emitXorshift(b, x, t0);
+    kutil::emitChance(b, cond, x, 22, 2, t0);
+    b.beq(cond, noProbe);
+    b.srli(t0, x, 30);
+    b.andi(t0, t0, kBigWords - 1);
+    b.slli(t0, t0, 3);
+    b.add(bigAddr, t0, bbig);
+    b.ldt(ftmp, bigAddr, 0);                   // usually a miss
+    b.fmul(fax, fax, ftmp);
+    b.bind(noProbe);
+    b.add(t0, ja, bfx);
+    b.stt(fax, t0, 0);                         // accumulate forces
+    b.addi(j, j, 1);
+    b.subi(count, count, 1);
+    b.bne(count, top);
+    b.halt();
+    return b.build();
+}
+
+} // namespace drsim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * ora-like kernel: ray/surface intersection arithmetic dominated by
+ * long serial chains through the unpipelined FP divide/sqrt unit.
+ *
+ * SPEC92 signature targeted (paper Table 1):
+ *   load miss rate 0%   -> a tiny table of surface constants;
+ *   cbr mispredict ~6%  -> one ~88/12 biased hit/miss test;
+ *   commit IPC ~1.9 at 4-way and barely higher at 8-way: two
+ *   independent ray chains keep some ILP, but the single (4-way) or
+ *   dual (8-way) unpipelined divider and the chain latency cap it —
+ *   issue IPC == commit IPC because there is almost nothing to
+ *   mispredict (matching the paper's table, where ora executes no
+ *   wrong-path instructions to speak of).
+ */
+
+#include "workloads/kernel_util.hh"
+#include "workloads/kernels.hh"
+
+namespace drsim {
+
+Program
+makeOra(int scale, std::uint64_t seed)
+{
+    ProgramBuilder b("ora");
+    Rng rng(0x02a ^ (seed * 0x9e3779b97f4a7c15ull));
+
+    constexpr int kTabWords = 256;  // 2 KB of surface constants
+    const Addr tab = b.allocWords(kTabWords);
+    const Addr out = b.allocWords(kTabWords); // intersection results
+    kutil::initRandomDoubles(b, tab, kTabWords, rng, 1.0, 3.0);
+
+    const RegId x = intReg(1);
+    const RegId bt = intReg(2);
+    const RegId count = intReg(3);
+    const RegId ia = intReg(4);
+    const RegId t0 = intReg(5);
+
+    // Chain A registers.
+    const RegId a0 = fpReg(1);
+    const RegId a1 = fpReg(2);
+    const RegId a2 = fpReg(3);
+    const RegId a3 = fpReg(4);
+    const RegId ca = fpReg(5);
+    // Chain B registers.
+    const RegId b0 = fpReg(6);
+    const RegId b1 = fpReg(7);
+    const RegId b2 = fpReg(8);
+    const RegId b3 = fpReg(9);
+    const RegId cb = fpReg(10);
+    const RegId fone = fpReg(11);
+    const RegId fcond = fpReg(12);
+    const RegId facc = fpReg(13);
+
+    b.li(x, 0x02a'5eed);
+    b.li(bt, std::int64_t(tab));
+    b.li(count, std::int64_t(scale) * 130);
+    b.li(t0, 1);
+    b.itof(fone, t0);
+    b.fadd(a0, fone, fone);
+    b.fadd(b0, fone, fone);
+    b.fadd(facc, fone, fone);
+
+    const auto top = b.here();
+    const auto miss = b.newLabel();
+
+    // Fetch per-ray constants (always cache hits).
+    kutil::emitXorshift(b, x, t0);
+    b.andi(ia, x, kTabWords - 1);
+    b.slli(ia, ia, 3);
+    b.add(ia, ia, bt);
+    b.ldt(ca, ia, 0);
+    b.srli(t0, x, 9);
+    b.andi(t0, t0, kTabWords - 1);
+    b.slli(t0, t0, 3);
+    b.add(t0, t0, bt);
+    b.ldt(cb, t0, 0);
+
+    // Chain A: discriminant -> sqrt -> divide, fully serial.
+    b.fmul(a1, a0, ca);
+    b.fadd(a1, a1, fone);
+    b.fmul(a2, a1, a1);
+    b.fadd(a2, a2, ca);
+    b.fsqrt(a3, a2);                           // 16 cy, unpipelined unit
+    b.fadd(a3, a3, fone);
+    b.fdivs(a0, ca, a3);                       // 8 cy, unpipelined unit
+    b.fadd(a0, a0, fone);
+
+    // Chain B: independent of chain A until the accumulate.
+    b.fmul(b1, b0, cb);
+    b.fadd(b1, b1, cb);
+    b.fmul(b2, b1, b1);
+    b.fadd(b2, b2, fone);
+    b.fsqrt(b3, b2);                           // 16 cy
+    b.fadd(b3, b3, cb);
+    b.fdivs(b0, cb, b3);                       // 8 cy
+    b.fadd(b0, b0, cb);
+
+    // Shading work: four polynomial evaluations that are independent
+    // of the divide chains, so the scheduler can overlap them with the
+    // busy divider (this is what keeps ora's IPC near 1.9 instead of
+    // divider-latency-bound ~0.8).
+    const RegId pk = intReg(6);
+    const RegId pa = intReg(7);
+    const RegId pv = fpReg(14);
+    const RegId ps = fpReg(15);
+    const RegId pcond = intReg(8);
+    b.li(pk, 4);
+    const auto poly = b.here();
+    b.srl(t0, x, pk);
+    b.andi(t0, t0, kTabWords - 1);
+    b.slli(pa, t0, 3);
+    b.add(pa, pa, bt);
+    b.ldt(pv, pa, 0);
+    b.ldt(ps, pa, 8);
+    b.fmul(pv, pv, ps);
+    b.fadd(pv, pv, fone);
+    b.fmul(pv, pv, ps);
+    b.fadd(facc, facc, pv);
+    b.fmul(ps, ps, ps);
+    b.fadd(facc, facc, ps);
+    b.addi(pk, pk, 5);
+    b.cmplti(pcond, pk, 24);
+    b.bne(pcond, poly);
+
+    // Ray hit test (p ~ 16/64): entropy-driven so the predictor keeps
+    // mispredicting it, like ora's data-dependent intersection test.
+    const RegId hcond = intReg(9);
+    kutil::emitChance(b, hcond, x, 31, 16, t0);
+    b.fcmplt(fcond, a0, b0); // FP compare still exercised
+    b.beq(hcond, miss);
+    b.fadd(facc, facc, a0);
+    b.bind(miss);
+    b.fadd(facc, facc, b0);
+    // Record the intersection result (always a cache hit).
+    b.andi(t0, count, kTabWords - 1);
+    b.slli(t0, t0, 3);
+    b.addi(t0, t0, std::int64_t(out));
+    b.stt(facc, t0, 0);
+    b.subi(count, count, 1);
+    b.bne(count, top);
+    b.halt();
+    return b.build();
+}
+
+} // namespace drsim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * tomcatv-like kernel: 2-D mesh-generation stencil sweeping six large
+ * arrays whose active rows exceed the 64 KB cache, so vertical reuse
+ * is lost and nearly every line is re-fetched each sweep.
+ *
+ * SPEC92 signature targeted (paper Table 1, 4-way):
+ *   load miss rate ~33%  -> rows of 1024 doubles (8 KB); the stencil
+ *                           touches 3 rows x 2 read arrays plus 2 more
+ *                           streams = ~56 KB of active rows + streams,
+ *                           evicting lines between vertical uses;
+ *   cbr mispredict ~1%   -> only long counted loops;
+ *   loads ~27% of executed instructions; issue IPC ~= commit IPC.
+ */
+
+#include "workloads/kernel_util.hh"
+#include "workloads/kernels.hh"
+
+namespace drsim {
+
+Program
+makeTomcatv(int scale, std::uint64_t seed)
+{
+    ProgramBuilder b("tomcatv");
+    Rng rng(0x70c47 ^ (seed * 0x9e3779b97f4a7c15ull));
+
+    constexpr int kN = 1536;           // points per row (12 KB rows)
+    constexpr int kRows = 28;          // mesh rows per sweep
+    constexpr int kArrWords = kN * kRows;
+    // X/Y (and AA/DD) are deliberately allocated a multiple of the
+    // cache way size (32 KB) apart, as a Fortran compiler laying out
+    // same-shaped COMMON arrays would: same-index elements contend for
+    // the same 2-way set, giving tomcatv its conflict-miss component
+    // on top of the capacity misses.
+    const Addr ax = b.allocWords(kArrWords);   // X coordinates
+    b.allocWords(2048);                        // align to 32 KB
+    const Addr ay = b.allocWords(kArrWords);   // Y coordinates
+    b.allocWords(2048);                        // align to 32 KB
+    const Addr aa = b.allocWords(kArrWords);   // coefficient stream
+    kutil::staggerPad(b, 2);
+    const Addr dd = b.allocWords(kArrWords);   // diagonal stream
+    kutil::staggerPad(b, 1);
+    const Addr rx = b.allocWords(kArrWords);   // residual out (stores)
+    kutil::staggerPad(b, 2);
+    const Addr ry = b.allocWords(kArrWords);   // residual out (stores)
+    kutil::initRandomDoubles(b, ax, kArrWords, rng, 0.0, 1.0);
+    kutil::initRandomDoubles(b, ay, kArrWords, rng, 0.0, 1.0);
+    kutil::initRandomDoubles(b, aa, kArrWords, rng, 0.5, 1.5);
+    kutil::initRandomDoubles(b, dd, kArrWords, rng, 0.5, 1.5);
+
+    constexpr std::int64_t kRowBytes = kN * 8;
+
+    const RegId px = intReg(1);      // &X[j][i]
+    const RegId py = intReg(2);      // &Y[j][i]
+    const RegId paa = intReg(3);
+    const RegId pdd = intReg(4);
+    const RegId prx = intReg(5);
+    const RegId pry = intReg(6);
+    const RegId icnt = intReg(7);    // inner countdown
+    const RegId jcnt = intReg(8);    // row countdown
+    const RegId sweeps = intReg(9);
+
+    const RegId xm = fpReg(1);
+    const RegId xc = fpReg(2);
+    const RegId xp = fpReg(3);
+    const RegId ym = fpReg(4);
+    const RegId yc = fpReg(5);
+    const RegId yp = fpReg(6);
+    const RegId fa = fpReg(7);
+    const RegId fd = fpReg(8);
+    const RegId dxx = fpReg(9);
+    const RegId dyy = fpReg(10);
+    const RegId resx = fpReg(11);
+    const RegId resy = fpReg(12);
+    const RegId ftmp = fpReg(13);
+    const RegId rsum = fpReg(14);    // recurrence accumulator
+    const RegId rv = fpReg(15);
+    const RegId rw = fpReg(16);
+    const RegId prow = intReg(10);   // phase-2 residual walker
+    const RegId drow = intReg(11);   // phase-2 diagonal walker
+
+    // One row of stencil work is ~30k instructions; `scale` counts
+    // total rows, wrapping back to the mesh top every kRows-2 rows so
+    // arbitrarily long runs keep sweeping.
+    b.li(sweeps, scale);
+    b.li(jcnt, 0);
+
+    const auto sweepTop = b.here();
+    // (Re)start a sweep at row 1 (rows 0 and kRows-1 are boundaries).
+    b.li(px, std::int64_t(ax) + kRowBytes);
+    b.li(py, std::int64_t(ay) + kRowBytes);
+    b.li(paa, std::int64_t(aa) + kRowBytes);
+    b.li(pdd, std::int64_t(dd) + kRowBytes);
+    b.li(prx, std::int64_t(rx) + kRowBytes);
+    b.li(pry, std::int64_t(ry) + kRowBytes);
+    b.li(jcnt, kRows - 2);
+
+    const auto rowTop = b.here();
+    b.li(icnt, kN - 2);
+    // Remember the row starts for the second (substitution) pass.
+    b.mov(prow, prx);
+    b.mov(drow, pdd);
+
+    const auto pointTop = b.here();
+    // 5-point vertical stencil on X and Y plus two operand streams.
+    b.ldt(xm, px, -kRowBytes);               // row j-1
+    b.ldt(xc, px, 0);                        // row j
+    b.ldt(xp, px, kRowBytes);                // row j+1
+    b.ldt(ym, py, -kRowBytes);
+    b.ldt(yc, py, 0);
+    b.ldt(yp, py, kRowBytes);
+    b.ldt(fa, paa, 0);
+    b.ldt(fd, pdd, 0);
+    b.fadd(dxx, xm, xp);
+    b.fsub(dxx, dxx, xc);
+    b.fsub(dxx, dxx, xc);
+    b.fadd(dyy, ym, yp);
+    b.fsub(dyy, dyy, yc);
+    b.fsub(dyy, dyy, yc);
+    b.fmul(resx, dxx, fa);
+    b.fmul(ftmp, dyy, fd);
+    b.fadd(resx, resx, ftmp);
+    b.fmul(resy, dyy, fa);
+    b.fmul(ftmp, dxx, fd);
+    b.fsub(resy, resy, ftmp);
+    b.stt(resx, prx, 0);                     // streaming stores
+    b.stt(resy, pry, 0);
+    b.addi(px, px, 8);
+    b.addi(py, py, 8);
+    b.addi(paa, paa, 8);
+    b.addi(pdd, pdd, 8);
+    b.addi(prx, prx, 8);
+    b.addi(pry, pry, 8);
+    b.subi(icnt, icnt, 1);
+    b.bne(icnt, pointTop);
+
+    // Second pass: tridiagonal back-substitution over the residuals
+    // just produced.  The recurrence through rsum is loop-carried
+    // (the paper's tomcatv behaves the same way), and the rx reloads
+    // miss: the stores went around the write-through/no-allocate
+    // cache.  Fetch runs hundreds of instructions ahead of the slow
+    // recurrence at the window head, which is what produces the
+    // paper's Figure-5 second mode of live-register usage under
+    // precise exceptions.
+    b.li(icnt, kN - 2);
+    const auto subTop = b.here();
+    b.ldt(rv, prow, 0);                      // stream miss (no-alloc)
+    b.ldt(rw, drow, 0);                      // usually still cached
+    b.fmul(ftmp, rv, rw);                    // per-point work...
+    b.fadd(resx, ftmp, rv);
+    b.fmul(resy, rw, rw);
+    b.fadd(rsum, rsum, ftmp);                // ...the carried chain
+    b.addi(prow, prow, 8);
+    b.addi(drow, drow, 8);
+    b.subi(icnt, icnt, 1);
+    b.bne(icnt, subTop);
+    b.stt(rsum, pry, 0);                     // row result
+
+    // Advance to the next row (skip the two boundary points).
+    const auto done = b.newLabel();
+    b.addi(px, px, 16);
+    b.addi(py, py, 16);
+    b.addi(paa, paa, 16);
+    b.addi(pdd, pdd, 16);
+    b.addi(prx, prx, 16);
+    b.addi(pry, pry, 16);
+    b.subi(sweeps, sweeps, 1);
+    b.beq(sweeps, done);
+    b.subi(jcnt, jcnt, 1);
+    b.bne(jcnt, rowTop);
+    b.br(sweepTop);
+
+    b.bind(done);
+    b.halt();
+    return b.build();
+}
+
+} // namespace drsim

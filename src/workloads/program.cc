@@ -1,0 +1,71 @@
+#include "workloads/program.hh"
+
+#include "common/logging.hh"
+
+namespace drsim {
+
+void
+Program::finalize()
+{
+    if (finalized_)
+        DRSIM_PANIC("program finalized twice");
+    Addr pc = kCodeBase;
+    numInsts_ = 0;
+    for (auto &bb : blocks_) {
+        bb.startPc = pc;
+        for (std::int32_t i = 0; i < std::int32_t(bb.insts.size()); ++i) {
+            pcTable_.push_back(
+                {std::int32_t(&bb - blocks_.data()), i});
+            pc += kInstBytes;
+        }
+        numInsts_ += bb.insts.size();
+    }
+    finalized_ = true;
+}
+
+Addr
+Program::pcOf(CodeLoc loc) const
+{
+    return blocks_[loc.block].startPc + Addr(loc.offset) * kInstBytes;
+}
+
+CodeLoc
+Program::locOf(Addr pc) const
+{
+    if (pc < kCodeBase || (pc - kCodeBase) % kInstBytes != 0)
+        return {};
+    const Addr slot = (pc - kCodeBase) / kInstBytes;
+    if (slot >= pcTable_.size())
+        return {};
+    return pcTable_[slot];
+}
+
+const Instruction &
+Program::instAt(CodeLoc loc) const
+{
+    return blocks_[loc.block].insts[loc.offset];
+}
+
+CodeLoc
+Program::blockEntryResolved(int block) const
+{
+    for (int b = block; b < int(blocks_.size()); ++b)
+        if (!blocks_[b].insts.empty())
+            return {b, 0};
+    return {};
+}
+
+CodeLoc
+Program::nextLoc(CodeLoc loc) const
+{
+    const auto &bb = blocks_[loc.block];
+    if (loc.offset + 1 < std::int32_t(bb.insts.size()))
+        return {loc.block, loc.offset + 1};
+    // Fall through to the next non-empty block.
+    for (int b = loc.block + 1; b < int(blocks_.size()); ++b)
+        if (!blocks_[b].insts.empty())
+            return {b, 0};
+    return {};
+}
+
+} // namespace drsim

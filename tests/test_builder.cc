@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for ProgramBuilder and the Program code layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workloads/builder.hh"
+#include "workloads/program.hh"
+
+namespace drsim {
+namespace {
+
+TEST(Builder, StraightLineLayout)
+{
+    ProgramBuilder b("straight");
+    b.li(intReg(1), 5);
+    b.addi(intReg(2), intReg(1), 1);
+    b.halt();
+    const Program p = b.build();
+
+    EXPECT_EQ(p.name(), "straight");
+    EXPECT_EQ(p.numInsts(), 3u);
+    const CodeLoc entry = p.entry();
+    ASSERT_TRUE(entry.valid());
+    EXPECT_EQ(p.pcOf(entry), kCodeBase);
+    EXPECT_EQ(p.instAt(entry).op, Opcode::Add);
+
+    const CodeLoc second = p.nextLoc(entry);
+    EXPECT_EQ(p.pcOf(second), kCodeBase + 4);
+    const CodeLoc third = p.nextLoc(second);
+    EXPECT_TRUE(p.instAt(third).isHalt());
+    EXPECT_FALSE(p.nextLoc(third).valid());
+}
+
+TEST(Builder, LocOfRoundTrips)
+{
+    ProgramBuilder b("roundtrip");
+    for (int i = 0; i < 10; ++i)
+        b.addi(intReg(1), intReg(1), i);
+    b.halt();
+    const Program p = b.build();
+
+    CodeLoc loc = p.entry();
+    while (loc.valid()) {
+        EXPECT_EQ(p.locOf(p.pcOf(loc)), loc);
+        loc = p.nextLoc(loc);
+    }
+}
+
+TEST(Builder, LocOfRejectsNonCode)
+{
+    ProgramBuilder b("bad-pc");
+    b.halt();
+    const Program p = b.build();
+    EXPECT_FALSE(p.locOf(0).valid());
+    EXPECT_FALSE(p.locOf(kCodeBase + 2).valid()); // misaligned
+    EXPECT_FALSE(p.locOf(kCodeBase + 400).valid()); // past the end
+    EXPECT_FALSE(p.locOf(kDataBase).valid());
+}
+
+TEST(Builder, BackwardBranchTarget)
+{
+    ProgramBuilder b("loop");
+    b.li(intReg(1), 3);
+    const auto top = b.here();
+    b.subi(intReg(1), intReg(1), 1);
+    b.bne(intReg(1), top);
+    b.halt();
+    const Program p = b.build();
+
+    // Find the bne and check its target block starts at the subi.
+    CodeLoc loc = p.entry();
+    while (p.instAt(loc).op != Opcode::Bne)
+        loc = p.nextLoc(loc);
+    const Instruction &bne = p.instAt(loc);
+    const CodeLoc target = p.blockEntryResolved(bne.target);
+    ASSERT_TRUE(target.valid());
+    EXPECT_EQ(p.instAt(target).op, Opcode::Sub);
+}
+
+TEST(Builder, ForwardBranchTarget)
+{
+    ProgramBuilder b("fwd");
+    const auto skip = b.newLabel();
+    b.beq(intReg(1), skip);
+    b.li(intReg(2), 1);
+    b.bind(skip);
+    b.li(intReg(3), 2);
+    b.halt();
+    const Program p = b.build();
+
+    const Instruction &beq = p.instAt(p.entry());
+    ASSERT_EQ(beq.op, Opcode::Beq);
+    const CodeLoc target = p.blockEntryResolved(beq.target);
+    const Instruction &at_target = p.instAt(target);
+    EXPECT_EQ(at_target.op, Opcode::Add);
+    EXPECT_EQ(at_target.dest, intReg(3));
+}
+
+TEST(Builder, ConsecutiveLabelsShareBlock)
+{
+    ProgramBuilder b("labels");
+    const auto l1 = b.newLabel();
+    const auto l2 = b.newLabel();
+    b.br(l2);
+    b.bind(l1);
+    b.bind(l2);
+    b.li(intReg(1), 7);
+    b.halt();
+    const Program p = b.build();
+
+    const Instruction &br = p.instAt(p.entry());
+    const CodeLoc target = p.blockEntryResolved(br.target);
+    ASSERT_TRUE(target.valid());
+    EXPECT_EQ(p.instAt(target).dest, intReg(1));
+}
+
+TEST(Builder, DataAllocationIsAlignedAndDisjoint)
+{
+    ProgramBuilder b("data");
+    const Addr a = b.allocWords(3);
+    const Addr c = b.allocWords(10);
+    EXPECT_GE(c, a + 3 * 8);
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_EQ(c % 8, 0u);
+    EXPECT_GE(a, kDataBase);
+    b.initWord(a, 123);
+    b.initDouble(c, 2.5);
+    b.halt();
+    const Program p = b.build();
+    EXPECT_EQ(p.initialWords().at(a), 123u);
+    EXPECT_EQ(p.initialWords().at(c),
+              std::bit_cast<std::uint64_t>(2.5));
+}
+
+TEST(Builder, OperandClassValidation)
+{
+    ProgramBuilder b("bad");
+    EXPECT_DEATH(b.ldt(intReg(1), intReg(2), 0), "ldt");
+}
+
+TEST(Builder, FallthroughAcrossBlocks)
+{
+    // A branch ends a block; the next instruction starts a new one and
+    // nextLoc must fall through to it.
+    ProgramBuilder b("fall");
+    const auto skip = b.newLabel();
+    b.beq(intReg(1), skip);
+    b.li(intReg(2), 1);
+    b.bind(skip);
+    b.halt();
+    const Program p = b.build();
+
+    const CodeLoc after_branch = p.nextLoc(p.entry());
+    ASSERT_TRUE(after_branch.valid());
+    EXPECT_EQ(p.instAt(after_branch).dest, intReg(2));
+    EXPECT_NE(after_branch.block, p.entry().block);
+}
+
+TEST(Builder, JsrAndRetShape)
+{
+    ProgramBuilder b("call");
+    const auto fn = b.newLabel();
+    b.jsr(intReg(26), fn);
+    b.halt();
+    b.bind(fn);
+    b.ret(intReg(26));
+    const Program p = b.build();
+
+    const Instruction &jsr = p.instAt(p.entry());
+    EXPECT_EQ(jsr.op, Opcode::Jsr);
+    EXPECT_EQ(jsr.dest, intReg(26));
+    const CodeLoc fn_loc = p.blockEntryResolved(jsr.target);
+    EXPECT_EQ(p.instAt(fn_loc).op, Opcode::Ret);
+}
+
+TEST(Builder, BranchToUnboundLabelDies)
+{
+    ProgramBuilder b("unbound");
+    const auto l = b.newLabel();
+    b.br(l);
+    b.halt();
+    EXPECT_DEATH(b.build(), "unbound");
+}
+
+} // namespace
+} // namespace drsim

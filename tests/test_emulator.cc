@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Unit tests for the architectural emulator: per-opcode semantics,
+ * control flow, and the checkpoint/rollback machinery used for
+ * wrong-path execution.
+ */
+
+#include <bit>
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workloads/builder.hh"
+#include "workloads/emulator.hh"
+
+namespace drsim {
+namespace {
+
+/** Run a straight-line program to its halt, architecturally. */
+void
+runToHalt(Emulator &emu, std::uint64_t max_steps = 100000)
+{
+    while (!emu.fetchBlocked()) {
+        emu.stepArch();
+        ASSERT_LT(emu.stepsExecuted(), max_steps) << "runaway program";
+    }
+}
+
+TEST(Emulator, IntegerAluSemantics)
+{
+    ProgramBuilder b("alu");
+    b.li(intReg(1), 6);
+    b.li(intReg(2), 10);
+    b.add(intReg(3), intReg(1), intReg(2));   // 16
+    b.sub(intReg(4), intReg(1), intReg(2));   // -4
+    b.and_(intReg(5), intReg(1), intReg(2));  // 2
+    b.or_(intReg(6), intReg(1), intReg(2));   // 14
+    b.xor_(intReg(7), intReg(1), intReg(2));  // 12
+    b.slli(intReg(8), intReg(1), 4);          // 96
+    b.srli(intReg(9), intReg(2), 1);          // 5
+    b.cmplt(intReg(10), intReg(1), intReg(2)); // 1
+    b.cmple(intReg(11), intReg(2), intReg(2)); // 1
+    b.cmpeq(intReg(12), intReg(1), intReg(2)); // 0
+    b.mul(intReg(13), intReg(1), intReg(2));  // 60
+    b.cmplti(intReg(14), intReg(4), 0);       // -4 < 0 -> 1
+    b.halt();
+    Emulator emu(b.build());
+    runToHalt(emu);
+
+    EXPECT_EQ(emu.intRegBits(3), 16u);
+    EXPECT_EQ(std::int64_t(emu.intRegBits(4)), -4);
+    EXPECT_EQ(emu.intRegBits(5), 2u);
+    EXPECT_EQ(emu.intRegBits(6), 14u);
+    EXPECT_EQ(emu.intRegBits(7), 12u);
+    EXPECT_EQ(emu.intRegBits(8), 96u);
+    EXPECT_EQ(emu.intRegBits(9), 5u);
+    EXPECT_EQ(emu.intRegBits(10), 1u);
+    EXPECT_EQ(emu.intRegBits(11), 1u);
+    EXPECT_EQ(emu.intRegBits(12), 0u);
+    EXPECT_EQ(emu.intRegBits(13), 60u);
+    EXPECT_EQ(emu.intRegBits(14), 1u);
+}
+
+TEST(Emulator, ZeroRegisterReadsZeroAndDropsWrites)
+{
+    ProgramBuilder b("zero");
+    b.li(intReg(kZeroReg), 99);             // write discarded
+    b.add(intReg(1), intReg(kZeroReg), intReg(kZeroReg));
+    b.halt();
+    Emulator emu(b.build());
+    runToHalt(emu);
+    EXPECT_EQ(emu.intRegBits(1), 0u);
+}
+
+TEST(Emulator, FloatingPointSemantics)
+{
+    ProgramBuilder b("fp");
+    const Addr c = b.allocWords(2);
+    b.initDouble(c, 2.0);
+    b.initDouble(c + 8, 8.0);
+    b.li(intReg(1), std::int64_t(c));
+    b.ldt(fpReg(1), intReg(1), 0);           // 2.0
+    b.ldt(fpReg(2), intReg(1), 8);           // 8.0
+    b.fadd(fpReg(3), fpReg(1), fpReg(2));    // 10
+    b.fsub(fpReg(4), fpReg(2), fpReg(1));    // 6
+    b.fmul(fpReg(5), fpReg(1), fpReg(2));    // 16
+    b.fdivd(fpReg(6), fpReg(2), fpReg(1));   // 4
+    b.fsqrt(fpReg(7), fpReg(2));             // ~2.828
+    b.fcmplt(fpReg(8), fpReg(1), fpReg(2));  // 1.0
+    b.itof(fpReg(9), intReg(1));
+    b.ftoi(intReg(2), fpReg(2));             // 8
+    b.halt();
+    Emulator emu(b.build());
+    runToHalt(emu);
+
+    EXPECT_DOUBLE_EQ(emu.fpRegValue(3), 10.0);
+    EXPECT_DOUBLE_EQ(emu.fpRegValue(4), 6.0);
+    EXPECT_DOUBLE_EQ(emu.fpRegValue(5), 16.0);
+    EXPECT_DOUBLE_EQ(emu.fpRegValue(6), 4.0);
+    EXPECT_NEAR(emu.fpRegValue(7), 2.8284271, 1e-6);
+    EXPECT_DOUBLE_EQ(emu.fpRegValue(8), 1.0);
+    EXPECT_DOUBLE_EQ(emu.fpRegValue(9), double(c));
+    EXPECT_EQ(emu.intRegBits(2), 8u);
+}
+
+TEST(Emulator, GuardedArithmeticNeverTraps)
+{
+    // Arithmetic exceptions are not modeled (paper Section 2): divide
+    // by zero and sqrt of a negative produce 0 instead of trapping.
+    ProgramBuilder b("guard");
+    b.li(intReg(1), -4);
+    b.itof(fpReg(1), intReg(1));             // -4.0
+    b.fdivd(fpReg(2), fpReg(1), fpReg(31));  // /0 -> 0
+    b.fsqrt(fpReg(3), fpReg(1));             // sqrt(-4) -> 0
+    b.fdivs(fpReg(4), fpReg(1), fpReg(31));  // /0 -> 0
+    b.ftoi(intReg(2), fpReg(2));
+    b.halt();
+    Emulator emu(b.build());
+    runToHalt(emu);
+    EXPECT_DOUBLE_EQ(emu.fpRegValue(2), 0.0);
+    EXPECT_DOUBLE_EQ(emu.fpRegValue(3), 0.0);
+    EXPECT_DOUBLE_EQ(emu.fpRegValue(4), 0.0);
+}
+
+TEST(Emulator, LoadsAndStores)
+{
+    ProgramBuilder b("mem");
+    const Addr buf = b.allocWords(4);
+    b.initWord(buf, 111);
+    b.li(intReg(1), std::int64_t(buf));
+    b.ldq(intReg(2), intReg(1), 0);          // 111
+    b.addi(intReg(3), intReg(2), 1);
+    b.stq(intReg(3), intReg(1), 8);          // buf[1] = 112
+    b.ldq(intReg(4), intReg(1), 8);          // 112
+    b.ldq(intReg(5), intReg(1), 24);         // uninitialized -> 0
+    b.halt();
+    Emulator emu(b.build());
+    runToHalt(emu);
+    EXPECT_EQ(emu.intRegBits(2), 111u);
+    EXPECT_EQ(emu.intRegBits(4), 112u);
+    EXPECT_EQ(emu.intRegBits(5), 0u);
+    EXPECT_EQ(emu.memWord(buf + 8), 112u);
+}
+
+TEST(Emulator, LoopExecutesExactTripCount)
+{
+    ProgramBuilder b("loop");
+    b.li(intReg(1), 10);
+    b.li(intReg(2), 0);
+    const auto top = b.here();
+    b.addi(intReg(2), intReg(2), 3);
+    b.subi(intReg(1), intReg(1), 1);
+    b.bne(intReg(1), top);
+    b.halt();
+    Emulator emu(b.build());
+    runToHalt(emu);
+    EXPECT_EQ(emu.intRegBits(2), 30u);
+    // 2 setup + 10 iterations x 3 + halt.
+    EXPECT_EQ(emu.stepsExecuted(), 33u);
+}
+
+TEST(Emulator, JsrRetRoundTrip)
+{
+    ProgramBuilder b("call");
+    const auto fn = b.newLabel();
+    const auto after = b.newLabel();
+    b.li(intReg(1), 5);
+    b.jsr(intReg(26), fn);
+    b.addi(intReg(3), intReg(2), 100);       // executes after return
+    b.br(after);
+    b.bind(fn);
+    b.addi(intReg(2), intReg(1), 10);        // 15
+    b.ret(intReg(26));
+    b.bind(after);
+    b.halt();
+    Emulator emu(b.build());
+    runToHalt(emu);
+    EXPECT_EQ(emu.intRegBits(2), 15u);
+    EXPECT_EQ(emu.intRegBits(3), 115u);
+}
+
+TEST(Emulator, StepReportsBranchInfo)
+{
+    ProgramBuilder b("brinfo");
+    const auto target = b.newLabel();
+    b.li(intReg(1), 0);
+    b.beq(intReg(1), target);                // taken
+    b.li(intReg(2), 1);                      // skipped
+    b.bind(target);
+    b.halt();
+    const Program p = b.build();
+    Emulator emu(p);
+
+    emu.stepArch(); // li
+    const Addr branch_pc = emu.pc();
+    const StepInfo info = emu.stepArch();
+    EXPECT_TRUE(info.inst->isCondBranch());
+    EXPECT_EQ(info.pc, branch_pc);
+    EXPECT_TRUE(info.actualTaken);
+    EXPECT_NE(info.actualNextPc, branch_pc + 4);
+    EXPECT_TRUE(p.instAt(p.locOf(info.actualNextPc)).isHalt());
+}
+
+TEST(Emulator, WrongPathThenRollback)
+{
+    ProgramBuilder b("wrongpath");
+    const auto target = b.newLabel();
+    const Addr buf = b.allocWords(2);
+    b.initWord(buf, 7);
+    b.li(intReg(1), 0);
+    b.li(intReg(9), std::int64_t(buf));
+    b.beq(intReg(1), target);                // actually taken
+    // Wrong path: clobber registers and memory.
+    b.li(intReg(2), 99);
+    b.stq(intReg(2), intReg(9), 0);
+    b.bind(target);
+    b.li(intReg(3), 1);
+    b.halt();
+    const Program p = b.build();
+    Emulator emu(p);
+
+    emu.stepArch(); // li r1
+    emu.stepArch(); // li r9
+    const EmuCheckpoint cp = emu.takeCheckpoint();
+    const StepInfo branch = emu.step(false); // follow NOT-taken (wrong)
+    EXPECT_TRUE(branch.actualTaken);
+
+    // Execute the wrong path.
+    emu.stepArch(); // li r2, 99
+    emu.stepArch(); // stq
+    EXPECT_EQ(emu.intRegBits(2), 99u);
+    EXPECT_EQ(emu.memWord(buf), 99u);
+
+    // Recover: state must be exactly as before the branch.
+    emu.rollbackTo(cp, branch.actualNextPc);
+    emu.releaseCheckpoint(cp);
+    EXPECT_EQ(emu.intRegBits(2), 0u);
+    EXPECT_EQ(emu.memWord(buf), 7u);
+
+    runToHalt(emu);
+    EXPECT_EQ(emu.intRegBits(3), 1u);
+}
+
+TEST(Emulator, NestedCheckpointsRollbackInOrder)
+{
+    ProgramBuilder b("nested");
+    b.li(intReg(1), 1);
+    b.li(intReg(1), 2);
+    b.li(intReg(1), 3);
+    b.halt();
+    const Program p = b.build();
+    Emulator emu(p);
+    const Addr pc0 = emu.pc();
+
+    const EmuCheckpoint c1 = emu.takeCheckpoint();
+    emu.stepArch();                          // r1 = 1
+    const EmuCheckpoint c2 = emu.takeCheckpoint();
+    emu.stepArch();                          // r1 = 2
+    EXPECT_EQ(emu.intRegBits(1), 2u);
+
+    // Roll back the younger first, then the older.
+    emu.rollbackTo(c2, pc0 + 4);
+    emu.releaseCheckpoint(c2);
+    EXPECT_EQ(emu.intRegBits(1), 1u);
+    emu.rollbackTo(c1, pc0);
+    emu.releaseCheckpoint(c1);
+    EXPECT_EQ(emu.intRegBits(1), 0u);
+    EXPECT_EQ(emu.pc(), pc0);
+}
+
+TEST(Emulator, UndoLogPrunedWhenCheckpointsRelease)
+{
+    ProgramBuilder b("prune");
+    for (int i = 0; i < 50; ++i)
+        b.li(intReg(1), i);
+    b.halt();
+    Emulator emu(b.build());
+
+    // With no checkpoints, no undo state is retained at all.
+    for (int i = 0; i < 10; ++i)
+        emu.stepArch();
+    EXPECT_EQ(emu.undoLogSize(), 0u);
+
+    const EmuCheckpoint cp = emu.takeCheckpoint();
+    for (int i = 0; i < 10; ++i)
+        emu.stepArch();
+    EXPECT_GT(emu.undoLogSize(), 0u);
+    emu.releaseCheckpoint(cp);
+    EXPECT_EQ(emu.undoLogSize(), 0u);
+    EXPECT_EQ(emu.liveCheckpoints(), 0u);
+}
+
+TEST(Emulator, UndoLogPrunesToOldestLiveCheckpoint)
+{
+    ProgramBuilder b("prune2");
+    for (int i = 0; i < 50; ++i)
+        b.li(intReg(1), i);
+    b.halt();
+    Emulator emu(b.build());
+
+    const EmuCheckpoint c1 = emu.takeCheckpoint();
+    for (int i = 0; i < 5; ++i)
+        emu.stepArch();
+    const EmuCheckpoint c2 = emu.takeCheckpoint();
+    for (int i = 0; i < 5; ++i)
+        emu.stepArch();
+    // Releasing the older checkpoint prunes entries before the newer.
+    emu.releaseCheckpoint(c1);
+    EXPECT_EQ(emu.undoLogSize(), 5u);
+    emu.releaseCheckpoint(c2);
+    EXPECT_EQ(emu.undoLogSize(), 0u);
+}
+
+TEST(Emulator, FetchBlockedOnGarbageReturn)
+{
+    ProgramBuilder b("garbage");
+    b.li(intReg(1), 0x123456);               // not a code address
+    b.ret(intReg(1));
+    b.halt();
+    Emulator emu(b.build());
+    emu.stepArch();
+    emu.stepArch();
+    EXPECT_TRUE(emu.fetchBlocked());
+    EXPECT_EQ(emu.peek(), nullptr);
+}
+
+TEST(Emulator, HaltBlocksFetch)
+{
+    ProgramBuilder b("halt");
+    b.halt();
+    Emulator emu(b.build());
+    const StepInfo info = emu.stepArch();
+    EXPECT_TRUE(info.isHalt);
+    EXPECT_TRUE(emu.fetchBlocked());
+}
+
+TEST(Emulator, StateHashDetectsDifferences)
+{
+    ProgramBuilder b1("h1");
+    b1.li(intReg(1), 1);
+    b1.halt();
+    ProgramBuilder b2("h2");
+    b2.li(intReg(1), 2);
+    b2.halt();
+
+    Emulator e1(b1.build());
+    Emulator e2(b2.build());
+    runToHalt(e1);
+    runToHalt(e2);
+    EXPECT_NE(e1.stateHash(), e2.stateHash());
+}
+
+TEST(Emulator, WrongPathLoadOfWildAddressIsSafe)
+{
+    ProgramBuilder b("wild");
+    b.li(intReg(1), std::int64_t(0x7fff'ffff'fff0ull));
+    b.ldq(intReg(2), intReg(1), 0);          // wrapped, reads 0
+    b.halt();
+    Emulator emu(b.build());
+    runToHalt(emu);
+    EXPECT_EQ(emu.intRegBits(2), 0u);
+}
+
+} // namespace
+} // namespace drsim

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Property tests of the emulator's operator semantics: each ALU/FP
+ * opcode is swept over pseudo-random operands and checked against the
+ * host's arithmetic.
+ */
+
+#include <bit>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "workloads/builder.hh"
+#include "workloads/emulator.hh"
+
+namespace drsim {
+namespace {
+
+/** Run `op r3 = r1 op r2` once with the given operand bits. */
+std::uint64_t
+evalInt(Opcode op, std::uint64_t a, std::uint64_t b)
+{
+    ProgramBuilder bld("evalint");
+    const Addr buf = bld.allocWords(2);
+    bld.initWord(buf, a);
+    bld.initWord(buf + 8, b);
+    bld.li(intReg(10), std::int64_t(buf));
+    bld.ldq(intReg(1), intReg(10), 0);
+    bld.ldq(intReg(2), intReg(10), 8);
+    switch (op) {
+      case Opcode::Add: bld.add(intReg(3), intReg(1), intReg(2)); break;
+      case Opcode::Sub: bld.sub(intReg(3), intReg(1), intReg(2)); break;
+      case Opcode::And: bld.and_(intReg(3), intReg(1), intReg(2)); break;
+      case Opcode::Or: bld.or_(intReg(3), intReg(1), intReg(2)); break;
+      case Opcode::Xor: bld.xor_(intReg(3), intReg(1), intReg(2)); break;
+      case Opcode::Sll: bld.sll(intReg(3), intReg(1), intReg(2)); break;
+      case Opcode::Srl: bld.srl(intReg(3), intReg(1), intReg(2)); break;
+      case Opcode::Cmplt:
+        bld.cmplt(intReg(3), intReg(1), intReg(2));
+        break;
+      case Opcode::Cmple:
+        bld.cmple(intReg(3), intReg(1), intReg(2));
+        break;
+      case Opcode::Cmpeq:
+        bld.cmpeq(intReg(3), intReg(1), intReg(2));
+        break;
+      case Opcode::Mul: bld.mul(intReg(3), intReg(1), intReg(2)); break;
+      default:
+        ADD_FAILURE() << "unsupported int opcode";
+    }
+    bld.halt();
+    Emulator emu(bld.build());
+    while (!emu.fetchBlocked())
+        emu.stepArch();
+    return emu.intRegBits(3);
+}
+
+std::uint64_t
+hostInt(Opcode op, std::uint64_t a, std::uint64_t b)
+{
+    switch (op) {
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Sll: return a << (b & 63);
+      case Opcode::Srl: return a >> (b & 63);
+      case Opcode::Cmplt:
+        return std::uint64_t(std::int64_t(a) < std::int64_t(b));
+      case Opcode::Cmple:
+        return std::uint64_t(std::int64_t(a) <= std::int64_t(b));
+      case Opcode::Cmpeq: return std::uint64_t(a == b);
+      case Opcode::Mul: return a * b;
+      default: return 0;
+    }
+}
+
+class IntOpSweep : public ::testing::TestWithParam<Opcode>
+{};
+
+TEST_P(IntOpSweep, MatchesHostSemantics)
+{
+    const Opcode op = GetParam();
+    Rng rng(0xb0b + int(op));
+    // Edge operands plus random sweeps.
+    const std::uint64_t edges[] = {0, 1, ~0ull, 0x8000000000000000ull,
+                                   0x7fffffffffffffffull, 63, 64};
+    for (const std::uint64_t a : edges)
+        for (const std::uint64_t b : edges)
+            EXPECT_EQ(evalInt(op, a, b), hostInt(op, a, b))
+                << "a=" << a << " b=" << b;
+    for (int i = 0; i < 12; ++i) {
+        const std::uint64_t a = rng.next();
+        const std::uint64_t b = rng.next();
+        EXPECT_EQ(evalInt(op, a, b), hostInt(op, a, b))
+            << "a=" << a << " b=" << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIntOps, IntOpSweep,
+    ::testing::Values(Opcode::Add, Opcode::Sub, Opcode::And,
+                      Opcode::Or, Opcode::Xor, Opcode::Sll,
+                      Opcode::Srl, Opcode::Cmplt, Opcode::Cmple,
+                      Opcode::Cmpeq, Opcode::Mul),
+    [](const ::testing::TestParamInfo<Opcode> &info) {
+        return std::string(opTraits(info.param).name);
+    });
+
+double
+evalFp(Opcode op, double a, double b)
+{
+    ProgramBuilder bld("evalfp");
+    const Addr buf = bld.allocWords(2);
+    bld.initDouble(buf, a);
+    bld.initDouble(buf + 8, b);
+    bld.li(intReg(10), std::int64_t(buf));
+    bld.ldt(fpReg(1), intReg(10), 0);
+    bld.ldt(fpReg(2), intReg(10), 8);
+    switch (op) {
+      case Opcode::Fadd: bld.fadd(fpReg(3), fpReg(1), fpReg(2)); break;
+      case Opcode::Fsub: bld.fsub(fpReg(3), fpReg(1), fpReg(2)); break;
+      case Opcode::Fmul: bld.fmul(fpReg(3), fpReg(1), fpReg(2)); break;
+      case Opcode::Fdivd:
+        bld.fdivd(fpReg(3), fpReg(1), fpReg(2));
+        break;
+      case Opcode::Fcmplt:
+        bld.fcmplt(fpReg(3), fpReg(1), fpReg(2));
+        break;
+      case Opcode::Fsqrt: bld.fsqrt(fpReg(3), fpReg(1)); break;
+      default:
+        ADD_FAILURE() << "unsupported fp opcode";
+    }
+    bld.halt();
+    Emulator emu(bld.build());
+    while (!emu.fetchBlocked())
+        emu.stepArch();
+    return emu.fpRegValue(3);
+}
+
+double
+hostFp(Opcode op, double a, double b)
+{
+    switch (op) {
+      case Opcode::Fadd: return a + b;
+      case Opcode::Fsub: return a - b;
+      case Opcode::Fmul: return a * b;
+      case Opcode::Fdivd: return b == 0.0 ? 0.0 : a / b;
+      case Opcode::Fcmplt: return a < b ? 1.0 : 0.0;
+      case Opcode::Fsqrt: return a < 0.0 ? 0.0 : std::sqrt(a);
+      default: return 0.0;
+    }
+}
+
+class FpOpSweep : public ::testing::TestWithParam<Opcode>
+{};
+
+TEST_P(FpOpSweep, MatchesHostSemantics)
+{
+    const Opcode op = GetParam();
+    Rng rng(0xf0f + int(op));
+    const double edges[] = {0.0, 1.0, -1.0, 0.5, -1e300, 1e300,
+                            3.25e-5};
+    for (const double a : edges) {
+        for (const double b : edges) {
+            const double got = evalFp(op, a, b);
+            const double want = hostFp(op, a, b);
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+                      std::bit_cast<std::uint64_t>(want))
+                << "a=" << a << " b=" << b;
+        }
+    }
+    for (int i = 0; i < 10; ++i) {
+        const double a = (rng.uniform() - 0.5) * 2.0e6;
+        const double b = (rng.uniform() - 0.5) * 2.0e6;
+        EXPECT_DOUBLE_EQ(evalFp(op, a, b), hostFp(op, a, b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFpOps, FpOpSweep,
+    ::testing::Values(Opcode::Fadd, Opcode::Fsub, Opcode::Fmul,
+                      Opcode::Fdivd, Opcode::Fcmplt, Opcode::Fsqrt),
+    [](const ::testing::TestParamInfo<Opcode> &info) {
+        return std::string(opTraits(info.param).name);
+    });
+
+TEST(ImmediateForms, MatchRegisterForms)
+{
+    Rng rng(0x111);
+    for (int i = 0; i < 10; ++i) {
+        const std::int64_t a = std::int64_t(rng.next());
+        const std::int64_t imm = std::int64_t(rng.below(4096)) - 2048;
+        ProgramBuilder b("immediate");
+        b.li(intReg(1), a);
+        b.li(intReg(2), imm);
+        b.addi(intReg(3), intReg(1), imm);
+        b.add(intReg(4), intReg(1), intReg(2));
+        b.subi(intReg(5), intReg(1), imm);
+        b.sub(intReg(6), intReg(1), intReg(2));
+        b.andi(intReg(7), intReg(1), imm);
+        b.and_(intReg(8), intReg(1), intReg(2));
+        b.halt();
+        Emulator emu(b.build());
+        while (!emu.fetchBlocked())
+            emu.stepArch();
+        EXPECT_EQ(emu.intRegBits(3), emu.intRegBits(4));
+        EXPECT_EQ(emu.intRegBits(5), emu.intRegBits(6));
+        EXPECT_EQ(emu.intRegBits(7), emu.intRegBits(8));
+    }
+}
+
+TEST(ConversionRoundTrip, ItofFtoiPreservesSmallIntegers)
+{
+    Rng rng(0x222);
+    for (int i = 0; i < 20; ++i) {
+        const std::int64_t v =
+            std::int64_t(rng.below(1u << 30)) - (1 << 29);
+        ProgramBuilder b("conv");
+        b.li(intReg(1), v);
+        b.itof(fpReg(1), intReg(1));
+        b.ftoi(intReg(2), fpReg(1));
+        b.halt();
+        Emulator emu(b.build());
+        while (!emu.fetchBlocked())
+            emu.stepArch();
+        EXPECT_EQ(std::int64_t(emu.intRegBits(2)), v);
+    }
+}
+
+} // namespace
+} // namespace drsim

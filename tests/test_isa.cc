@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the ISA definitions: register ids, opcode traits
+ * (classes and latencies per paper Section 2.1), and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/reg.hh"
+
+namespace drsim {
+namespace {
+
+TEST(RegId, ValidityAndZero)
+{
+    EXPECT_FALSE(noReg().valid());
+    EXPECT_FALSE(noReg().renamed());
+    EXPECT_TRUE(intReg(0).valid());
+    EXPECT_TRUE(intReg(0).renamed());
+    EXPECT_TRUE(intReg(kZeroReg).valid());
+    EXPECT_TRUE(intReg(kZeroReg).isZero());
+    EXPECT_FALSE(intReg(kZeroReg).renamed());
+    EXPECT_TRUE(fpReg(kZeroReg).isZero());
+}
+
+TEST(RegId, Equality)
+{
+    EXPECT_EQ(intReg(5), intReg(5));
+    EXPECT_FALSE(intReg(5) == fpReg(5));
+    EXPECT_FALSE(intReg(5) == intReg(6));
+}
+
+TEST(OpTraits, PaperLatencies)
+{
+    // Integer units are single cycle, except the 6-cycle multiplier.
+    EXPECT_EQ(opTraits(Opcode::Add).latency, 1);
+    EXPECT_EQ(opTraits(Opcode::Cmplt).latency, 1);
+    EXPECT_EQ(opTraits(Opcode::Mul).latency, 6);
+    // FP units are 3 cycles...
+    EXPECT_EQ(opTraits(Opcode::Fadd).latency, 3);
+    EXPECT_EQ(opTraits(Opcode::Fmul).latency, 3);
+    EXPECT_EQ(opTraits(Opcode::Itof).latency, 3);
+    // ...except divides: 8 cycles single, 16 double (unpipelined).
+    EXPECT_EQ(opTraits(Opcode::Fdivs).latency, 8);
+    EXPECT_EQ(opTraits(Opcode::Fdivd).latency, 16);
+    EXPECT_EQ(opTraits(Opcode::Fsqrt).latency, 16);
+    // Stores resolve in one cycle.
+    EXPECT_EQ(opTraits(Opcode::Stq).latency, 1);
+}
+
+TEST(OpTraits, Classes)
+{
+    EXPECT_EQ(opClassOf(Opcode::Add), OpClass::IntAlu);
+    EXPECT_EQ(opClassOf(Opcode::Mul), OpClass::IntMult);
+    EXPECT_EQ(opClassOf(Opcode::Fadd), OpClass::FpAdd);
+    EXPECT_EQ(opClassOf(Opcode::Fdivd), OpClass::FpDiv);
+    EXPECT_EQ(opClassOf(Opcode::Fsqrt), OpClass::FpDiv);
+    EXPECT_EQ(opClassOf(Opcode::Ldq), OpClass::MemLoad);
+    EXPECT_EQ(opClassOf(Opcode::Stt), OpClass::MemStore);
+    EXPECT_EQ(opClassOf(Opcode::Beq), OpClass::CtrlCond);
+    EXPECT_EQ(opClassOf(Opcode::Fbne), OpClass::CtrlCond);
+    EXPECT_EQ(opClassOf(Opcode::Br), OpClass::CtrlUncond);
+    EXPECT_EQ(opClassOf(Opcode::Jsr), OpClass::CtrlUncond);
+    EXPECT_EQ(opClassOf(Opcode::Ret), OpClass::CtrlUncond);
+    EXPECT_EQ(opClassOf(Opcode::Halt), OpClass::IntAlu);
+}
+
+TEST(Instruction, Predicates)
+{
+    Instruction ld;
+    ld.op = Opcode::Ldt;
+    ld.dest = fpReg(1);
+    ld.src1 = intReg(2);
+    EXPECT_TRUE(ld.isLoad());
+    EXPECT_TRUE(ld.isMem());
+    EXPECT_FALSE(ld.isStore());
+    EXPECT_TRUE(ld.writesReg());
+
+    Instruction st;
+    st.op = Opcode::Stq;
+    st.src1 = intReg(2);
+    st.src2 = intReg(3);
+    EXPECT_TRUE(st.isStore());
+    EXPECT_FALSE(st.writesReg());
+
+    Instruction br;
+    br.op = Opcode::Beq;
+    br.src1 = intReg(1);
+    EXPECT_TRUE(br.isCondBranch());
+    EXPECT_TRUE(br.isControl());
+    EXPECT_FALSE(br.writesReg());
+
+    Instruction jsr;
+    jsr.op = Opcode::Jsr;
+    jsr.dest = intReg(26);
+    EXPECT_TRUE(jsr.isControl());
+    EXPECT_FALSE(jsr.isCondBranch());
+    EXPECT_TRUE(jsr.writesReg());
+
+    Instruction halt;
+    halt.op = Opcode::Halt;
+    EXPECT_TRUE(halt.isHalt());
+    EXPECT_FALSE(halt.writesReg());
+}
+
+TEST(Instruction, ZeroDestDoesNotAllocate)
+{
+    Instruction add;
+    add.op = Opcode::Add;
+    add.dest = intReg(kZeroReg);
+    add.src1 = intReg(1);
+    EXPECT_FALSE(add.writesReg());
+}
+
+TEST(Disassemble, Formats)
+{
+    Instruction add;
+    add.op = Opcode::Add;
+    add.dest = intReg(1);
+    add.src1 = intReg(2);
+    add.src2 = intReg(3);
+    EXPECT_EQ(disassemble(add), "add r1, r2, r3");
+
+    Instruction addi;
+    addi.op = Opcode::Add;
+    addi.dest = intReg(1);
+    addi.src1 = intReg(31);
+    addi.imm = 42;
+    EXPECT_EQ(disassemble(addi), "add r1, r31, #42");
+
+    Instruction ld;
+    ld.op = Opcode::Ldq;
+    ld.dest = intReg(4);
+    ld.src1 = intReg(5);
+    ld.imm = 16;
+    EXPECT_EQ(disassemble(ld), "ldq r4, 16(r5)");
+
+    Instruction st;
+    st.op = Opcode::Stt;
+    st.src1 = intReg(5);
+    st.src2 = fpReg(7);
+    st.imm = -8;
+    EXPECT_EQ(disassemble(st), "stt f7, -8(r5)");
+
+    Instruction br;
+    br.op = Opcode::Bne;
+    br.src1 = intReg(9);
+    br.target = 3;
+    EXPECT_EQ(disassemble(br), "bne r9, B3");
+
+    Instruction halt;
+    halt.op = Opcode::Halt;
+    EXPECT_EQ(disassemble(halt), "halt");
+}
+
+} // namespace
+} // namespace drsim

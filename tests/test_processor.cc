@@ -1,0 +1,579 @@
+/**
+ * @file
+ * Behavioral tests for the out-of-order core: latencies, issue
+ * limits, memory ordering, misprediction recovery, register-pressure
+ * stalls, and the exception models — on small handcrafted programs
+ * where the expected machine behaviour can be reasoned out exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/processor.hh"
+#include "workloads/builder.hh"
+
+namespace drsim {
+namespace {
+
+CoreConfig
+baseConfig()
+{
+    CoreConfig cfg;
+    cfg.issueWidth = 4;
+    cfg.dqSize = 32;
+    cfg.numPhysRegs = 256;
+    cfg.exceptionModel = ExceptionModel::Precise;
+    cfg.cacheKind = CacheKind::LockupFree;
+    cfg.auditInterval = 64; // heavy self-checking in tests
+    cfg.deadlockCycles = 50000;
+    // Microbenchmarks here are mostly straight-line code; cold
+    // I-misses would swamp the latencies under test.
+    cfg.perfectICache = true;
+    return cfg;
+}
+
+/** N instructions, each dependent on the previous one. */
+Program
+dependentChain(int n)
+{
+    ProgramBuilder b("chain");
+    for (int i = 0; i < n; ++i)
+        b.addi(intReg(1), intReg(1), 1);
+    b.halt();
+    return b.build();
+}
+
+/** N independent single-cycle instructions. */
+Program
+independentOps(int n)
+{
+    ProgramBuilder b("indep");
+    for (int i = 0; i < n; ++i)
+        b.addi(intReg(1 + (i % 24)), intReg(28), i);
+    b.halt();
+    return b.build();
+}
+
+TEST(Processor, DependentChainIssuesOnePerCycle)
+{
+    const int n = 64;
+    CoreConfig cfg = baseConfig();
+    Program prog = dependentChain(n);
+    Processor proc(cfg, prog);
+    proc.run();
+    // One issue per cycle plus a small pipeline prologue/epilogue.
+    EXPECT_GE(proc.stats().cycles, Cycle(n));
+    EXPECT_LE(proc.stats().cycles, Cycle(n + 8));
+    EXPECT_EQ(proc.stats().committed, std::uint64_t(n + 1));
+    // Nothing speculative here: executed == committed.
+    EXPECT_EQ(proc.stats().executed, proc.stats().committed);
+    EXPECT_EQ(proc.emulator().intRegBits(1), std::uint64_t(n));
+}
+
+TEST(Processor, IndependentOpsApproachIssueWidth)
+{
+    const int n = 256;
+    CoreConfig cfg = baseConfig();
+    Program prog = independentOps(n);
+    Processor proc(cfg, prog);
+    proc.run();
+    const double ipc = proc.stats().commitIpc();
+    EXPECT_GT(ipc, 3.4); // bounded by the 4-wide issue stage
+    EXPECT_LE(ipc, 4.0);
+}
+
+TEST(Processor, EightWideDoublesIndependentThroughput)
+{
+    const int n = 512;
+    CoreConfig cfg = baseConfig();
+    cfg.issueWidth = 8;
+    cfg.dqSize = 64;
+    Program prog = independentOps(n);
+    Processor proc(cfg, prog);
+    proc.run();
+    EXPECT_GT(proc.stats().commitIpc(), 6.5);
+    EXPECT_LE(proc.stats().commitIpc(), 8.0);
+}
+
+TEST(Processor, IntMultiplyLatencySix)
+{
+    // A chain of K dependent multiplies costs ~6K cycles.
+    const int k = 20;
+    ProgramBuilder b("mulchain");
+    b.li(intReg(1), 1);
+    for (int i = 0; i < k; ++i)
+        b.muli(intReg(1), intReg(1), 1);
+    b.halt();
+    CoreConfig cfg = baseConfig();
+    Processor proc(cfg, b.build());
+    proc.run();
+    EXPECT_GE(proc.stats().cycles, Cycle(6 * k));
+    EXPECT_LE(proc.stats().cycles, Cycle(6 * k + 10));
+}
+
+TEST(Processor, FpAddLatencyThreePipelined)
+{
+    // Dependent fadd chain: ~3 cycles per link.
+    const int k = 20;
+    ProgramBuilder b("faddchain");
+    for (int i = 0; i < k; ++i)
+        b.fadd(fpReg(1), fpReg(1), fpReg(2));
+    b.halt();
+    CoreConfig cfg = baseConfig();
+    Processor proc(cfg, b.build());
+    proc.run();
+    EXPECT_GE(proc.stats().cycles, Cycle(3 * k));
+    EXPECT_LE(proc.stats().cycles, Cycle(3 * k + 10));
+}
+
+TEST(Processor, UnpipelinedDividerSerializes)
+{
+    // Independent double divides on a 4-way machine (one divider):
+    // each occupies the unit for 16 cycles.
+    const int k = 8;
+    ProgramBuilder b("divs");
+    for (int i = 0; i < k; ++i)
+        b.fdivd(fpReg(1 + i), fpReg(20), fpReg(21));
+    b.halt();
+    CoreConfig cfg = baseConfig();
+    Processor proc(cfg, b.build());
+    proc.run();
+    EXPECT_GE(proc.stats().cycles, Cycle(16 * k));
+
+    // The 8-way machine has two dividers: roughly half the time.
+    CoreConfig cfg8 = baseConfig();
+    cfg8.issueWidth = 8;
+    cfg8.dqSize = 64;
+    ProgramBuilder b8("divs8");
+    for (int i = 0; i < k; ++i)
+        b8.fdivd(fpReg(1 + i), fpReg(20), fpReg(21));
+    b8.halt();
+    Processor proc8(cfg8, b8.build());
+    proc8.run();
+    EXPECT_LE(proc8.stats().cycles, Cycle(16 * k / 2 + 24));
+}
+
+TEST(Processor, PipelinedFpSustainsThroughput)
+{
+    // Independent fadds: fully pipelined, limited only by the 2-per-
+    // cycle FP issue limit of the 4-way machine.
+    const int k = 128;
+    ProgramBuilder b("fps");
+    for (int i = 0; i < k; ++i)
+        b.fadd(fpReg(1 + (i % 24)), fpReg(25), fpReg(26));
+    b.halt();
+    CoreConfig cfg = baseConfig();
+    Processor proc(cfg, b.build());
+    proc.run();
+    // ~2 FP issues per cycle.
+    EXPECT_LE(proc.stats().cycles, Cycle(k / 2 + 16));
+    EXPECT_GE(proc.stats().cycles, Cycle(k / 2));
+}
+
+TEST(Processor, LoadHitUseLatency)
+{
+    // chain: load (hit after warmup) -> dependent add, repeated.
+    // First touch misses; afterwards, each load-use link costs
+    // hit(1) + load-delay slot(1) + add(1) = 3 cycles.
+    const int k = 30;
+    ProgramBuilder b("ldchain");
+    const Addr buf = b.allocWords(1);
+    b.initWord(buf, std::int64_t(buf)); // points to itself
+    b.li(intReg(1), std::int64_t(buf));
+    for (int i = 0; i < k; ++i) {
+        b.ldq(intReg(1), intReg(1), 0);
+        b.andi(intReg(1), intReg(1), ~0ll);
+    }
+    b.halt();
+    CoreConfig cfg = baseConfig();
+    Processor proc(cfg, b.build());
+    proc.run();
+    EXPECT_GE(proc.stats().cycles, Cycle(3 * k));
+    EXPECT_LE(proc.stats().cycles, Cycle(3 * k + 30));
+    EXPECT_EQ(proc.dcache().stats().loadMisses, 1u);
+}
+
+TEST(Processor, ColdMissCostsFetchLatency)
+{
+    // A single dependent cold load adds ~hit+miss+delay cycles.
+    ProgramBuilder b("coldmiss");
+    const Addr buf = b.allocWords(1);
+    b.li(intReg(1), std::int64_t(buf));
+    b.ldq(intReg(2), intReg(1), 0);
+    b.addi(intReg(3), intReg(2), 1);
+    b.halt();
+    CoreConfig cfg = baseConfig();
+    Processor proc(cfg, b.build());
+    proc.run();
+    // issue(ld)=c2 -> value ready c2+18; add issues then; +complete,
+    // +commit: ~24 cycles total.
+    EXPECT_GE(proc.stats().cycles, Cycle(20));
+    EXPECT_LE(proc.stats().cycles, Cycle(28));
+    EXPECT_EQ(proc.dcache().stats().loadMisses, 1u);
+}
+
+TEST(Processor, StoreToLoadForwarding)
+{
+    ProgramBuilder b("fwd");
+    const Addr buf = b.allocWords(1);
+    b.li(intReg(1), std::int64_t(buf));
+    b.li(intReg(2), 77);
+    b.stq(intReg(2), intReg(1), 0);
+    b.ldq(intReg(3), intReg(1), 0); // must forward from the store
+    b.addi(intReg(4), intReg(3), 1);
+    b.halt();
+    CoreConfig cfg = baseConfig();
+    Processor proc(cfg, b.build());
+    proc.run();
+    EXPECT_EQ(proc.stats().forwardedLoads, 1u);
+    // The forwarded load never touched the cache: no miss.
+    EXPECT_EQ(proc.dcache().stats().loadMisses, 0u);
+    EXPECT_EQ(proc.emulator().intRegBits(4), 78u);
+}
+
+TEST(Processor, LoadBypassesSlowUnrelatedStore)
+{
+    // The store's data depends on a long multiply chain; the load is
+    // to a different address and must not wait for it.
+    ProgramBuilder b("bypass");
+    const Addr a = b.allocWords(1);
+    const Addr c = b.allocWords(8);
+    b.initWord(c, 5);
+    b.li(intReg(1), std::int64_t(a));
+    b.li(intReg(2), std::int64_t(c));
+    b.li(intReg(3), 3);
+    for (int i = 0; i < 10; ++i)
+        b.muli(intReg(3), intReg(3), 1);  // 60-cycle chain
+    b.stq(intReg(3), intReg(1), 0);       // waits for the chain
+    b.ldq(intReg(4), intReg(2), 0);       // independent load
+    b.addi(intReg(5), intReg(4), 1);
+    b.halt();
+    CoreConfig cfg = baseConfig();
+    Processor proc(cfg, b.build());
+    proc.run();
+    // Serialized execution would be ~60 (chain) + ~20 (cold miss);
+    // with bypassing, the load overlaps the chain.
+    EXPECT_LE(proc.stats().cycles, Cycle(75));
+    EXPECT_EQ(proc.emulator().intRegBits(5), 6u);
+}
+
+TEST(Processor, LoadWaitsForMatchingStore)
+{
+    // Same-address load must wait for (and forward from) the slow
+    // store rather than reading stale memory.
+    ProgramBuilder b("order");
+    const Addr a = b.allocWords(1);
+    b.initWord(a, 1);
+    b.li(intReg(1), std::int64_t(a));
+    b.li(intReg(3), 7);
+    for (int i = 0; i < 6; ++i)
+        b.muli(intReg(3), intReg(3), 1);
+    b.stq(intReg(3), intReg(1), 0);
+    b.ldq(intReg(4), intReg(1), 0);
+    b.halt();
+    CoreConfig cfg = baseConfig();
+    Processor proc(cfg, b.build());
+    proc.run();
+    EXPECT_EQ(proc.stats().forwardedLoads, 1u);
+    EXPECT_EQ(proc.emulator().intRegBits(4), 7u);
+    EXPECT_GE(proc.stats().cycles, Cycle(36)); // waited for the chain
+}
+
+TEST(Processor, MispredictRecoveryExecutesCorrectly)
+{
+    // Data-dependent branches from a table: heavy misprediction, but
+    // the committed results must equal the architectural execution.
+    ProgramBuilder b("mispred");
+    Rng rng(3);
+    const Addr tab = b.allocWords(256);
+    for (int i = 0; i < 256; ++i)
+        b.initWord(tab + i * 8, rng.next());
+    b.li(intReg(1), std::int64_t(tab));
+    b.li(intReg(2), 200);          // trip count
+    b.li(intReg(3), 0);            // accumulator
+    b.li(intReg(6), 0);            // index
+    const auto top = b.here();
+    const auto skip = b.newLabel();
+    b.andi(intReg(4), intReg(6), 255);
+    b.slli(intReg(4), intReg(4), 3);
+    b.add(intReg(4), intReg(4), intReg(1));
+    b.ldq(intReg(5), intReg(4), 0);
+    b.andi(intReg(5), intReg(5), 1);   // random bit
+    b.beq(intReg(5), skip);
+    b.addi(intReg(3), intReg(3), 1);
+    b.bind(skip);
+    b.addi(intReg(6), intReg(6), 1);
+    b.subi(intReg(2), intReg(2), 1);
+    b.bne(intReg(2), top);
+    b.halt();
+    const Program prog = b.build();
+
+    // Architectural reference.
+    Emulator ref(prog);
+    while (!ref.fetchBlocked())
+        ref.stepArch();
+
+    CoreConfig cfg = baseConfig();
+    Processor proc(cfg, Program(prog));
+    proc.run();
+
+    EXPECT_GT(proc.stats().recoveries, 20u);
+    EXPECT_GT(proc.stats().squashedInsts, 0u);
+    EXPECT_GT(proc.stats().executed, proc.stats().committed);
+    EXPECT_EQ(proc.stats().committed, ref.stepsExecuted());
+    EXPECT_EQ(proc.emulator().stateHash(), ref.stateHash());
+    EXPECT_EQ(proc.emulator().intRegBits(3), ref.intRegBits(3));
+}
+
+TEST(Processor, PredictableLoopRarelyMispredicts)
+{
+    ProgramBuilder b("loop");
+    b.li(intReg(1), 500);
+    const auto top = b.here();
+    b.subi(intReg(1), intReg(1), 1);
+    b.bne(intReg(1), top);
+    b.halt();
+    CoreConfig cfg = baseConfig();
+    Processor proc(cfg, b.build());
+    proc.run();
+    EXPECT_LT(proc.stats().mispredictRate(), 0.05);
+}
+
+TEST(Processor, DispatchQueueBoundRespected)
+{
+    // With a tiny dispatch queue the window of *unissued* work is
+    // capped; the run still completes correctly.
+    CoreConfig cfg = baseConfig();
+    cfg.dqSize = 4;
+    Program prog = independentOps(200);
+    Processor proc(cfg, prog);
+    while (!proc.done()) {
+        proc.tick();
+        EXPECT_LE(proc.dqOccupancy(), 4u);
+    }
+    EXPECT_EQ(proc.stats().committed, 201u);
+    EXPECT_GT(proc.stats().insertStallDqFullCycles, 0u);
+}
+
+TEST(Processor, WindowExceedsDispatchQueue)
+{
+    // Entries leave the queue at issue, so the in-flight window can
+    // grow far beyond the queue size when a long miss blocks commit
+    // (the paper's tomcatv/Figure-5 effect).
+    ProgramBuilder b("window");
+    const Addr buf = b.allocWords(1);
+    b.li(intReg(1), std::int64_t(buf));
+    b.ldq(intReg(2), intReg(1), 0);       // cold miss
+    b.addi(intReg(3), intReg(2), 1);      // depends on the miss
+    for (int i = 0; i < 40; ++i)          // independent work
+        b.addi(intReg(4 + (i % 20)), intReg(28), i);
+    b.halt();
+    CoreConfig cfg = baseConfig();
+    cfg.dqSize = 8;
+    Processor proc(cfg, b.build());
+    std::size_t max_window = 0;
+    while (!proc.done()) {
+        proc.tick();
+        max_window = std::max(max_window, proc.windowSize());
+    }
+    EXPECT_GT(max_window, 16u); // far beyond the 8-entry queue
+}
+
+TEST(Processor, MinimumRegisterFileMakesProgress)
+{
+    // 32 physical registers is the paper's minimum viable size; the
+    // machine crawls but must not deadlock.
+    CoreConfig cfg = baseConfig();
+    cfg.numPhysRegs = 32;
+    Program prog = dependentChain(100);
+    Processor proc(cfg, prog);
+    proc.run();
+    EXPECT_EQ(proc.stats().committed, 101u);
+    EXPECT_GT(proc.stats().insertStallNoRegCycles, 0u);
+    EXPECT_GT(proc.stats().noFreeRegCycles, 0u);
+}
+
+TEST(Processor, MoreRegistersNeverHurtIpc)
+{
+    Program p64 = independentOps(400);
+    CoreConfig small = baseConfig();
+    small.numPhysRegs = 36;
+    CoreConfig big = baseConfig();
+    big.numPhysRegs = 256;
+    Processor ps(small, p64);
+    ps.run();
+    Program p64b = independentOps(400);
+    Processor pb(big, p64b);
+    pb.run();
+    EXPECT_LE(ps.stats().commitIpc(), pb.stats().commitIpc() + 1e-9);
+}
+
+TEST(Processor, ImpreciseModelFreesFaster)
+{
+    // Under register pressure the imprecise model frees registers
+    // earlier and must not be slower.
+    ProgramBuilder bp("press");
+    Rng rng(9);
+    const Addr tab = bp.allocWords(4096);
+    for (int i = 0; i < 4096; ++i)
+        bp.initWord(tab + i * 8, rng.next());
+    bp.li(intReg(1), std::int64_t(tab));
+    bp.li(intReg(2), 300);
+    const auto top = bp.here();
+    bp.andi(intReg(3), intReg(2), 4095);
+    bp.slli(intReg(3), intReg(3), 3);
+    bp.add(intReg(3), intReg(3), intReg(1));
+    bp.ldq(intReg(4), intReg(3), 0);
+    bp.add(intReg(5), intReg(4), intReg(2));
+    bp.muli(intReg(6), intReg(5), 3);
+    bp.subi(intReg(2), intReg(2), 1);
+    bp.bne(intReg(2), top);
+    bp.halt();
+    const Program prog = bp.build();
+
+    CoreConfig precise = baseConfig();
+    precise.numPhysRegs = 34;
+    CoreConfig imprecise = precise;
+    imprecise.exceptionModel = ExceptionModel::Imprecise;
+
+    Processor pp(precise, Program(prog));
+    pp.run();
+    Processor pi(imprecise, Program(prog));
+    pi.run();
+
+    EXPECT_EQ(pp.stats().committed, pi.stats().committed);
+    EXPECT_LE(pi.stats().cycles, pp.stats().cycles);
+    // And the imprecise run keeps fewer registers live.
+    const auto p90p = pp.stats().live[0][3].percentile(0.9);
+    const auto p90i = pi.stats().live[0][3].percentile(0.9);
+    EXPECT_LE(p90i, p90p);
+}
+
+TEST(Processor, ShadowAccountingNestingInvariant)
+{
+    // In a precise run, the four nested liveness sums are sampled per
+    // cycle; each level's histogram must dominate the previous one.
+    CoreConfig cfg = baseConfig();
+    Program prog = independentOps(300);
+    Processor proc(cfg, prog);
+    proc.run();
+    for (int c = 0; c < kNumRegClasses; ++c) {
+        for (int level = 1; level < 4; ++level) {
+            EXPECT_GE(proc.stats().live[c][level].mean(),
+                      proc.stats().live[c][level - 1].mean());
+        }
+        // Total live can never exceed the physical file size.
+        EXPECT_LE(proc.stats().live[c][3].maxValue(),
+                  std::uint64_t(cfg.numPhysRegs));
+        // At least the 31 architectural mappings are always live.
+        EXPECT_GE(proc.stats().live[c][3].percentile(0.0001), 31u);
+    }
+}
+
+TEST(Processor, MaxCommittedStopsEarly)
+{
+    CoreConfig cfg = baseConfig();
+    cfg.maxCommitted = 50;
+    Program prog = independentOps(10000);
+    Processor proc(cfg, prog);
+    proc.run();
+    EXPECT_EQ(int(proc.stopReason()), int(StopReason::InstLimit));
+    EXPECT_GE(proc.stats().committed, 50u);
+    EXPECT_LE(proc.stats().committed, 50u + 8u);
+}
+
+TEST(Processor, CommitBandwidthBound)
+{
+    CoreConfig cfg = baseConfig();
+    Program prog = independentOps(400);
+    Processor proc(cfg, prog);
+    proc.run();
+    // cycles * 2W >= committed
+    EXPECT_GE(proc.stats().cycles * 8, proc.stats().committed);
+}
+
+TEST(Processor, CacheKindPerformanceOrdering)
+{
+    // Independent pseudo-random probes into a 1 MB table: nearly every
+    // probe misses, so miss handling dominates and the organizations
+    // order as perfect < lockup-free < lockup (paper Figure 7).
+    auto make = [] {
+        ProgramBuilder b("probes");
+        const Addr arr = b.allocWords(131072); // 1 MB
+        b.li(intReg(1), std::int64_t(arr));
+        b.li(intReg(2), 400);
+        b.li(intReg(3), 0x9e3779b9);
+        const auto top = b.here();
+        // xorshift-ish index; two independent probes per iteration.
+        b.slli(intReg(4), intReg(3), 13);
+        b.xor_(intReg(3), intReg(3), intReg(4));
+        b.srli(intReg(4), intReg(3), 7);
+        b.xor_(intReg(3), intReg(3), intReg(4));
+        b.andi(intReg(5), intReg(3), 131071);
+        b.slli(intReg(5), intReg(5), 3);
+        b.add(intReg(5), intReg(5), intReg(1));
+        b.ldq(intReg(6), intReg(5), 0);
+        b.srli(intReg(7), intReg(3), 17);
+        b.andi(intReg(7), intReg(7), 131071);
+        b.slli(intReg(7), intReg(7), 3);
+        b.add(intReg(7), intReg(7), intReg(1));
+        b.ldq(intReg(8), intReg(7), 0);
+        b.add(intReg(9), intReg(6), intReg(8));
+        b.subi(intReg(2), intReg(2), 1);
+        b.bne(intReg(2), top);
+        b.halt();
+        return b.build();
+    };
+    Cycle cycles[3];
+    const CacheKind kinds[3] = {CacheKind::Perfect,
+                                CacheKind::LockupFree,
+                                CacheKind::Lockup};
+    for (int i = 0; i < 3; ++i) {
+        CoreConfig cfg = baseConfig();
+        cfg.cacheKind = kinds[i];
+        Processor proc(cfg, make());
+        proc.run();
+        cycles[i] = proc.stats().cycles;
+    }
+    EXPECT_LE(cycles[0], cycles[1]);
+    EXPECT_LT(cycles[1], cycles[2]);
+}
+
+TEST(Processor, JsrRetFlowsThroughPipeline)
+{
+    ProgramBuilder b("callpipe");
+    const auto fn = b.newLabel();
+    const auto after = b.newLabel();
+    b.li(intReg(1), 20);
+    b.li(intReg(3), 0);
+    const auto top = b.here();
+    b.jsr(intReg(26), fn);
+    b.subi(intReg(1), intReg(1), 1);
+    b.bne(intReg(1), top);
+    b.br(after);
+    b.bind(fn);
+    b.addi(intReg(3), intReg(3), 2);
+    b.ret(intReg(26));
+    b.bind(after);
+    b.halt();
+    CoreConfig cfg = baseConfig();
+    Processor proc(cfg, b.build());
+    proc.run();
+    EXPECT_EQ(proc.emulator().intRegBits(3), 40u);
+    // Unconditional control flow is 100% predicted: the only possible
+    // mispredicts come from the loop branch.
+    EXPECT_LE(proc.stats().recoveries, 3u);
+}
+
+TEST(Processor, HaltDrainsCleanly)
+{
+    CoreConfig cfg = baseConfig();
+    Program prog = dependentChain(5);
+    Processor proc(cfg, prog);
+    proc.run();
+    EXPECT_EQ(proc.stats().committed, 6u);
+    EXPECT_EQ(proc.windowSize(), 0u);
+}
+
+} // namespace
+} // namespace drsim

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Unit tests for the rename unit: allocation, the four liveness
+ * categories, the imprecise kill engine, shadow accounting, squash
+ * restoration, and the next-cycle reuse rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/regfile.hh"
+
+namespace drsim {
+namespace {
+
+constexpr RegClass kInt = RegClass::Int;
+constexpr RegClass kFp = RegClass::Fp;
+
+TEST(RenameUnit, InitialState)
+{
+    RenameUnit ru(64, ExceptionModel::Precise);
+    // 31 initial architectural mappings per file, all WaitImprecise.
+    for (const RegClass cls : {kInt, kFp}) {
+        const LiveCounts lc = ru.liveCounts(cls);
+        EXPECT_EQ(lc.waitImprecise, 31u);
+        EXPECT_EQ(lc.inQueue, 0u);
+        EXPECT_EQ(lc.inFlight, 0u);
+        EXPECT_EQ(lc.waitPrecise, 0u);
+        EXPECT_EQ(ru.freeCount(cls), 64u - 31u);
+        for (int v = 0; v < kNumVirtualRegs; ++v) {
+            if (v != kZeroReg) {
+                EXPECT_NE(ru.mapOf(cls, v), kInvalidPhysReg);
+            }
+        }
+    }
+    ru.audit();
+}
+
+TEST(RenameUnit, MinimumFileSizeEnforced)
+{
+    CoreConfig cfg;
+    cfg.numPhysRegs = 31;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.numPhysRegs = 32;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(RenameUnit, SourceRenameTracksUsers)
+{
+    RenameUnit ru(64, ExceptionModel::Precise);
+    const PhysRegIndex p = ru.renameSrc(intReg(5));
+    ASSERT_NE(p, kInvalidPhysReg);
+    EXPECT_EQ(ru.info(kInt, p).pendingUsers, 1u);
+    ru.renameSrc(intReg(5));
+    EXPECT_EQ(ru.info(kInt, p).pendingUsers, 2u);
+    ru.onUserDone(kInt, p);
+    ru.onUserDone(kInt, p);
+    EXPECT_EQ(ru.info(kInt, p).pendingUsers, 0u);
+    ru.audit();
+}
+
+TEST(RenameUnit, ZeroAndInvalidSourcesAreFree)
+{
+    RenameUnit ru(64, ExceptionModel::Precise);
+    EXPECT_EQ(ru.renameSrc(intReg(kZeroReg)), kInvalidPhysReg);
+    EXPECT_EQ(ru.renameSrc(noReg()), kInvalidPhysReg);
+    EXPECT_TRUE(ru.isReady(kInt, kInvalidPhysReg, 0));
+}
+
+TEST(RenameUnit, DestAllocationRetiresPrevMapping)
+{
+    RenameUnit ru(64, ExceptionModel::Precise);
+    const PhysRegIndex old_map = ru.mapOf(kInt, 3);
+    const auto alloc = ru.renameDest(intReg(3), 1);
+    EXPECT_EQ(alloc.prev, old_map);
+    EXPECT_EQ(ru.mapOf(kInt, 3), alloc.dest);
+    EXPECT_EQ(int(ru.info(kInt, alloc.dest).cat),
+              int(LiveCat::InQueue));
+    EXPECT_EQ(ru.liveCounts(kInt).inQueue, 1u);
+    ru.audit();
+}
+
+TEST(RenameUnit, CategoryLifecyclePrecise)
+{
+    RenameUnit ru(64, ExceptionModel::Precise);
+    const auto a = ru.renameDest(intReg(3), 1);
+
+    ru.onIssueWriter(kInt, a.dest);
+    EXPECT_EQ(ru.liveCounts(kInt).inFlight, 1u);
+
+    ru.onWriterComplete(kInt, a.dest);
+    EXPECT_EQ(ru.liveCounts(kInt).inFlight, 0u);
+    EXPECT_EQ(ru.liveCounts(kInt).waitImprecise, 32u);
+
+    // The writer completing with no branches outstanding kills the
+    // previous mapping of r3: it moves to the shadow WaitPrecise
+    // category (writer done, no users, killed).
+    ru.kill(kInt, 3, 1);
+    EXPECT_EQ(ru.liveCounts(kInt).waitPrecise, 1u);
+    EXPECT_EQ(int(ru.info(kInt, a.prev).cat), int(LiveCat::WaitPrecise));
+
+    // Precise free happens at the retiring writer's commit.
+    const std::size_t free_before = ru.freeCount(kInt);
+    ru.onCommitWriter(kInt, a.prev);
+    EXPECT_EQ(ru.liveCounts(kInt).waitPrecise, 0u);
+    // Freed registers only become allocatable next cycle.
+    EXPECT_EQ(ru.freeCount(kInt), free_before);
+    ru.beginCycle();
+    EXPECT_EQ(ru.freeCount(kInt), free_before + 1);
+    ru.audit();
+}
+
+TEST(RenameUnit, ImpreciseFreesWithoutCommit)
+{
+    RenameUnit ru(64, ExceptionModel::Imprecise);
+    const auto a = ru.renameDest(intReg(3), 1);
+    ru.onIssueWriter(kInt, a.dest);
+    ru.onWriterComplete(kInt, a.dest);
+
+    const std::size_t free_before = ru.freeCount(kInt);
+    // Kill: the old mapping frees immediately (writer completed at
+    // init, no users) — no commit required.
+    ru.kill(kInt, 3, 1);
+    ru.beginCycle();
+    EXPECT_EQ(ru.freeCount(kInt), free_before + 1);
+    EXPECT_EQ(int(ru.info(kInt, a.prev).cat), int(LiveCat::Free));
+    ru.audit();
+}
+
+TEST(RenameUnit, ImpreciseWaitsForUsers)
+{
+    RenameUnit ru(64, ExceptionModel::Imprecise);
+    // A reader of the architectural value of r3...
+    const PhysRegIndex old_map = ru.renameSrc(intReg(3));
+    // ...then a writer of r3 completes and kills the old mapping.
+    const auto a = ru.renameDest(intReg(3), 2);
+    ru.onIssueWriter(kInt, a.dest);
+    ru.onWriterComplete(kInt, a.dest);
+    ru.kill(kInt, 3, 2);
+
+    // Not free yet: the reader has not completed.
+    EXPECT_NE(int(ru.info(kInt, old_map).cat), int(LiveCat::Free));
+    ru.onUserDone(kInt, old_map);
+    EXPECT_EQ(int(ru.info(kInt, old_map).cat), int(LiveCat::Free));
+    ru.audit();
+}
+
+TEST(RenameUnit, ImpreciseWaitsForWriterCompletion)
+{
+    RenameUnit ru(64, ExceptionModel::Imprecise);
+    // Writer W1 of r3 (not yet completed), then W2 completes & kills.
+    const auto w1 = ru.renameDest(intReg(3), 1);
+    const auto w2 = ru.renameDest(intReg(3), 2);
+    ru.onIssueWriter(kInt, w2.dest);
+    ru.onWriterComplete(kInt, w2.dest);
+    ru.kill(kInt, 3, 2); // kills initial mapping AND w1's mapping
+
+    // w1's register is killed but its writer hasn't completed.
+    EXPECT_TRUE(ru.info(kInt, w1.dest).killed);
+    EXPECT_NE(int(ru.info(kInt, w1.dest).cat), int(LiveCat::Free));
+
+    ru.onIssueWriter(kInt, w1.dest);
+    ru.onWriterComplete(kInt, w1.dest);
+    EXPECT_EQ(int(ru.info(kInt, w1.dest).cat), int(LiveCat::Free));
+    ru.audit();
+}
+
+TEST(RenameUnit, KillOnlyAffectsOlderMappings)
+{
+    RenameUnit ru(64, ExceptionModel::Imprecise);
+    const auto w1 = ru.renameDest(intReg(3), 5);
+    const auto w2 = ru.renameDest(intReg(3), 9);
+    // Kill with w1's seq: only mappings older than 5 die.  The
+    // initial mapping (w1.prev) had a completed writer and no users,
+    // so the kill frees it outright.
+    ru.kill(kInt, 3, 5);
+    EXPECT_FALSE(ru.info(kInt, w1.dest).killed);
+    EXPECT_FALSE(ru.info(kInt, w2.dest).killed);
+    EXPECT_EQ(int(ru.info(kInt, w1.prev).cat), int(LiveCat::Free));
+    ru.audit();
+}
+
+TEST(RenameUnit, SquashRestoresMapAndFrees)
+{
+    RenameUnit ru(64, ExceptionModel::Precise);
+    const PhysRegIndex orig = ru.mapOf(kInt, 7);
+    const auto a = ru.renameDest(intReg(7), 1);
+    const auto b = ru.renameDest(intReg(7), 2);
+    // Squash youngest-first.
+    ru.squashWriter(kInt, 7, b.dest, b.prev, 2);
+    EXPECT_EQ(ru.mapOf(kInt, 7), a.dest);
+    ru.squashWriter(kInt, 7, a.dest, a.prev, 1);
+    EXPECT_EQ(ru.mapOf(kInt, 7), orig);
+    EXPECT_EQ(int(ru.info(kInt, a.dest).cat), int(LiveCat::Free));
+    EXPECT_EQ(int(ru.info(kInt, b.dest).cat), int(LiveCat::Free));
+    ru.beginCycle();
+    EXPECT_EQ(ru.freeCount(kInt), 64u - 31u);
+    ru.audit();
+}
+
+TEST(RenameUnit, AllocationExhaustion)
+{
+    RenameUnit ru(33, ExceptionModel::Precise);
+    EXPECT_TRUE(ru.canAllocate(kInt));
+    ru.renameDest(intReg(1), 1);
+    ru.renameDest(intReg(2), 2);
+    EXPECT_FALSE(ru.canAllocate(kInt));
+    // The FP file is independent.
+    EXPECT_TRUE(ru.canAllocate(kFp));
+}
+
+TEST(RenameUnit, ReadyCycleTracking)
+{
+    RenameUnit ru(64, ExceptionModel::Precise);
+    const auto a = ru.renameDest(intReg(1), 1);
+    EXPECT_FALSE(ru.isReady(kInt, a.dest, 1000));
+    ru.setReady(kInt, a.dest, 50);
+    EXPECT_FALSE(ru.isReady(kInt, a.dest, 49));
+    EXPECT_TRUE(ru.isReady(kInt, a.dest, 50));
+    // Initial mappings are ready from cycle 0.
+    EXPECT_TRUE(ru.isReady(kInt, ru.mapOf(kInt, 2), 0));
+}
+
+TEST(RenameUnit, FpAndIntFilesIndependent)
+{
+    RenameUnit ru(40, ExceptionModel::Precise);
+    const auto fa = ru.renameDest(fpReg(4), 1);
+    EXPECT_EQ(ru.liveCounts(kFp).inQueue, 1u);
+    EXPECT_EQ(ru.liveCounts(kInt).inQueue, 0u);
+    EXPECT_EQ(ru.mapOf(kFp, 4), fa.dest);
+    EXPECT_EQ(ru.freeCount(kFp), 40u - 31u - 1u);
+    EXPECT_EQ(ru.freeCount(kInt), 40u - 31u);
+    ru.audit();
+}
+
+TEST(RenameUnit, TotalLiveConservation)
+{
+    // live + free == numPhysRegs at every step of a random workout.
+    RenameUnit ru(48, ExceptionModel::Precise);
+    struct Pending
+    {
+        RenameUnit::Alloc alloc;
+        int vreg;
+        InstSeqNum seq;
+    };
+    std::vector<Pending> allocs;
+    InstSeqNum seq = 1;
+    for (int round = 0; round < 200; ++round) {
+        ru.beginCycle();
+        // After beginCycle every freed register is back on the free
+        // list, so live + free must equal the file size.
+        EXPECT_EQ(ru.liveCounts(kInt).total() + ru.freeCount(kInt),
+                  48u);
+        if (ru.canAllocate(kInt)) {
+            const int vreg = 1 + (round % 15);
+            allocs.push_back({ru.renameDest(intReg(vreg), seq), vreg,
+                              seq});
+            ++seq;
+        } else if (!allocs.empty()) {
+            // Retire in FIFO order like commits would: the writer
+            // completes, kills older mappings of its virtual register,
+            // then commits and precise-frees the retired mapping.
+            const Pending p = allocs.front();
+            allocs.erase(allocs.begin());
+            ru.onIssueWriter(kInt, p.alloc.dest);
+            ru.onWriterComplete(kInt, p.alloc.dest);
+            ru.kill(kInt, p.vreg, p.seq);
+            ru.onCommitWriter(kInt, p.alloc.prev);
+        }
+        ru.audit();
+    }
+}
+
+TEST(RenameUnit, DoubleFreePanics)
+{
+    RenameUnit ru(64, ExceptionModel::Precise);
+    const auto a = ru.renameDest(intReg(1), 1);
+    ru.onIssueWriter(kInt, a.dest);
+    ru.onWriterComplete(kInt, a.dest);
+    ru.onCommitWriter(kInt, a.prev);
+    EXPECT_DEATH(ru.onCommitWriter(kInt, a.prev), "double free");
+}
+
+TEST(RenameUnit, UserUnderflowPanics)
+{
+    RenameUnit ru(64, ExceptionModel::Precise);
+    const PhysRegIndex p = ru.mapOf(kInt, 2);
+    EXPECT_DEATH(ru.onUserDone(kInt, p), "underflow");
+}
+
+} // namespace
+} // namespace drsim

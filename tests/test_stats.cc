@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the statistics containers, including the paper's
+ * footnote-2 averaging procedure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace drsim {
+namespace {
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+    EXPECT_EQ(h.percentile(0.9), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_TRUE(h.normalized().empty());
+}
+
+TEST(Histogram, SingleValue)
+{
+    Histogram h;
+    for (int i = 0; i < 10; ++i)
+        h.addSample(42);
+    EXPECT_EQ(h.totalSamples(), 10u);
+    EXPECT_EQ(h.maxValue(), 42u);
+    EXPECT_EQ(h.percentile(0.5), 42u);
+    EXPECT_EQ(h.percentile(1.0), 42u);
+    EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+}
+
+TEST(Histogram, PercentileBoundaries)
+{
+    Histogram h;
+    // 90 samples at value 1, 10 samples at value 100.
+    for (int i = 0; i < 90; ++i)
+        h.addSample(1);
+    for (int i = 0; i < 10; ++i)
+        h.addSample(100);
+    EXPECT_EQ(h.percentile(0.90), 1u);
+    EXPECT_EQ(h.percentile(0.91), 100u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(Histogram, PercentileRejectsBadFraction)
+{
+    Histogram h;
+    h.addSample(1);
+    EXPECT_THROW(h.percentile(0.0), FatalError);
+    EXPECT_THROW(h.percentile(1.5), FatalError);
+}
+
+TEST(Histogram, NormalizedSumsToOne)
+{
+    Histogram h;
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        h.addSample(rng.below(50));
+    const auto d = h.normalized();
+    double sum = 0.0;
+    for (double v : d)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a, b;
+    a.addSample(3);
+    a.addSample(3);
+    b.addSample(5);
+    a.merge(b);
+    EXPECT_EQ(a.totalSamples(), 3u);
+    EXPECT_EQ(a.counts()[3], 2u);
+    EXPECT_EQ(a.counts()[5], 1u);
+}
+
+TEST(Histogram, MeanWeighted)
+{
+    Histogram h;
+    h.addSample(0);
+    h.addSample(10);
+    h.addSample(10);
+    h.addSample(20);
+    EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+}
+
+TEST(AverageDensities, EqualWeightPerBenchmark)
+{
+    // Benchmark A: all mass at 0.  Benchmark B: all mass at 2.
+    // The average must weight them equally regardless of how many
+    // cycles each ran (footnote 2 of the paper).
+    Histogram a, b;
+    for (int i = 0; i < 1000000; ++i)
+        a.addSample(0);
+    b.addSample(2); // one cycle only
+    const auto avg =
+        averageDensities({a.normalized(), b.normalized()});
+    ASSERT_EQ(avg.size(), 3u);
+    EXPECT_NEAR(avg[0], 0.5, 1e-9);
+    EXPECT_NEAR(avg[2], 0.5, 1e-9);
+}
+
+TEST(AverageDensities, DifferentLengths)
+{
+    const auto avg = averageDensities({{1.0}, {0.0, 0.0, 1.0}});
+    ASSERT_EQ(avg.size(), 3u);
+    EXPECT_NEAR(avg[0], 0.5, 1e-9);
+    EXPECT_NEAR(avg[2], 0.5, 1e-9);
+}
+
+TEST(DensityPercentile, ReadsCumulative)
+{
+    const std::vector<double> d = {0.5, 0.25, 0.25};
+    EXPECT_EQ(densityPercentile(d, 0.5), 0u);
+    EXPECT_EQ(densityPercentile(d, 0.6), 1u);
+    EXPECT_EQ(densityPercentile(d, 0.75), 1u);
+    EXPECT_EQ(densityPercentile(d, 0.9), 2u);
+    EXPECT_EQ(densityPercentile(d, 1.0), 2u);
+}
+
+TEST(DensityPercentile, ShortMassClampsToEnd)
+{
+    // Density that sums to 0.8: asking for 0.95 clamps to the last
+    // index instead of running off the end.
+    const std::vector<double> d = {0.4, 0.4};
+    EXPECT_EQ(densityPercentile(d, 0.95), 1u);
+}
+
+TEST(CoverageCurve, MonotoneAndCapped)
+{
+    const std::vector<double> d = {0.25, 0.25, 0.5};
+    const auto c = coverageCurve(d);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_NEAR(c[0], 0.25, 1e-9);
+    EXPECT_NEAR(c[1], 0.5, 1e-9);
+    EXPECT_NEAR(c[2], 1.0, 1e-9);
+    for (std::size_t i = 1; i < c.size(); ++i)
+        EXPECT_GE(c[i], c[i - 1]);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123), c(124);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(99);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_LT(rng.below(17), 17u);
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(5);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+} // namespace
+} // namespace drsim

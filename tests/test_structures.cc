@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the dispatch-queue and rename-unit timing models
+ * (the Section 3.4 companion structures).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "timing/regfile_timing.hh"
+#include "timing/structures.hh"
+
+namespace drsim {
+namespace {
+
+TEST(DispatchQueueTiming, MonotoneInEntries)
+{
+    double prev = 0.0;
+    for (const int entries : {8, 16, 32, 64, 128, 256}) {
+        const auto t = dispatchQueueTiming({entries, 4, 8});
+        EXPECT_GT(t.cycleNs, prev) << entries;
+        prev = t.cycleNs;
+    }
+}
+
+TEST(DispatchQueueTiming, MonotoneInIssueWidth)
+{
+    const auto t4 = dispatchQueueTiming({32, 4, 8});
+    const auto t8 = dispatchQueueTiming({32, 8, 8});
+    EXPECT_GT(t8.cycleNs, t4.cycleNs);
+    // Wakeup grows (taller CAM entries) and select grows (one more
+    // arbitration level).
+    EXPECT_GT(t8.wakeupNs, t4.wakeupNs);
+    EXPECT_GT(t8.selectNs, t4.selectNs);
+}
+
+TEST(DispatchQueueTiming, Decomposition)
+{
+    const auto t = dispatchQueueTiming({64, 8, 8});
+    EXPECT_NEAR(t.cycleNs, t.wakeupNs + t.selectNs + 0.12, 1e-9);
+    EXPECT_GT(t.wakeupNs, 0.0);
+    EXPECT_GT(t.selectNs, 0.0);
+}
+
+TEST(DispatchQueueTiming, RejectsBadGeometry)
+{
+    EXPECT_THROW(dispatchQueueTiming({0, 4, 8}), FatalError);
+    EXPECT_THROW(dispatchQueueTiming({32, 0, 8}), FatalError);
+}
+
+TEST(RenameTiming, WeaklySensitiveToPhysRegCount)
+{
+    // Only the map-entry width (log2 physRegs) grows: the effect must
+    // be tiny compared to a port doubling.
+    const auto r64 = renameTiming({64, 4, 32});
+    const auto r2048 = renameTiming({2048, 4, 32});
+    const auto w8 = renameTiming({64, 8, 32});
+    EXPECT_GE(r2048.cycleNs, r64.cycleNs);
+    EXPECT_GT(w8.cycleNs - r64.cycleNs,
+              5.0 * (r2048.cycleNs - r64.cycleNs));
+}
+
+TEST(RenameTiming, CheckDepthGrowsWithWidth)
+{
+    const auto r4 = renameTiming({128, 4, 32});
+    const auto r8 = renameTiming({128, 8, 32});
+    EXPECT_GT(r8.checkNs, r4.checkNs);
+    EXPECT_GT(r8.mapReadNs, r4.mapReadNs);
+}
+
+TEST(RenameTiming, RejectsBadGeometry)
+{
+    EXPECT_THROW(renameTiming({1, 4, 32}), FatalError);
+    EXPECT_THROW(renameTiming({128, 0, 32}), FatalError);
+}
+
+TEST(CriticalPaths, StructuresScaleTogether)
+{
+    // The paper's Section 3.4 assumption: moving from the 4-way
+    // design point (DQ 32) to the 8-way one (DQ 64) slows all three
+    // structures by comparable factors.
+    const double rf4 = regFileTiming(intRegFileGeometry(4, 80)).cycleNs;
+    const double rf8 =
+        regFileTiming(intRegFileGeometry(8, 128)).cycleNs;
+    const double dq4 = dispatchQueueTiming({32, 4, 8}).cycleNs;
+    const double dq8 = dispatchQueueTiming({64, 8, 8}).cycleNs;
+    const double rn4 = renameTiming({80, 4, 32}).cycleNs;
+    const double rn8 = renameTiming({128, 8, 32}).cycleNs;
+
+    const double rf_scale = rf8 / rf4;
+    const double dq_scale = dq8 / dq4;
+    const double rn_scale = rn8 / rn4;
+    EXPECT_GT(rf_scale, 1.0);
+    EXPECT_GT(dq_scale, 1.0);
+    EXPECT_GT(rn_scale, 1.0);
+    // All scaling factors within ~25% of the register file's.
+    EXPECT_NEAR(dq_scale, rf_scale, 0.25 * rf_scale);
+    EXPECT_NEAR(rn_scale, rf_scale, 0.25 * rf_scale);
+}
+
+TEST(CriticalPaths, NoStructureDwarfsTheRegisterFile)
+{
+    // At the paper's design points every structure is within ~2x of
+    // the register file — none of them invalidates using the register
+    // file as the machine-cycle proxy.
+    for (const int width : {4, 8}) {
+        const int dq = width == 4 ? 32 : 64;
+        for (const int regs : {48, 128, 256}) {
+            const double rf =
+                regFileTiming(intRegFileGeometry(width, regs)).cycleNs;
+            const double dqt =
+                dispatchQueueTiming({dq, width, 8}).cycleNs;
+            const double rnt = renameTiming({regs, width, 32}).cycleNs;
+            EXPECT_LT(dqt, 2.0 * rf);
+            EXPECT_GT(dqt, 0.5 * rf);
+            EXPECT_LT(rnt, 2.0 * rf);
+            EXPECT_GT(rnt, 0.3 * rf);
+        }
+    }
+}
+
+} // namespace
+} // namespace drsim

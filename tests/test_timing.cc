@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the register-file cycle-time model: the structural
+ * dependences the paper's Section 3.4 conclusions rest on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "timing/regfile_timing.hh"
+
+namespace drsim {
+namespace {
+
+TEST(RegFileTiming, MonotoneInRegisters)
+{
+    double prev = 0.0;
+    for (int regs : {32, 48, 64, 80, 96, 128, 160, 256}) {
+        const auto t = regFileTiming({regs, 8, 4, 64});
+        EXPECT_GT(t.cycleNs, prev);
+        prev = t.cycleNs;
+    }
+}
+
+TEST(RegFileTiming, MonotoneInPorts)
+{
+    const auto t1 = regFileTiming({128, 4, 2, 64});
+    const auto t2 = regFileTiming({128, 8, 4, 64});
+    const auto t3 = regFileTiming({128, 16, 8, 64});
+    EXPECT_LT(t1.cycleNs, t2.cycleNs);
+    EXPECT_LT(t2.cycleNs, t3.cycleNs);
+}
+
+TEST(RegFileTiming, PortsCostMoreThanRegisters)
+{
+    // The paper's key asymmetry: doubling the ports slows the file
+    // more than doubling the register count (Section 3.4).
+    const auto base = regFileTiming({128, 8, 4, 64});
+    const auto regs2x = regFileTiming({256, 8, 4, 64});
+    const auto ports2x = regFileTiming({128, 16, 8, 64});
+    EXPECT_GT(ports2x.cycleNs - base.cycleNs,
+              regs2x.cycleNs - base.cycleNs);
+}
+
+TEST(RegFileTiming, PortsQuadrupleAreaInTheLimit)
+{
+    // Doubling ports doubles both wordlines and bitlines; for a
+    // wire-dominated cell the area ratio approaches 4x.
+    const auto a = regFileTiming({128, 8, 4, 64});
+    const auto b = regFileTiming({128, 16, 8, 64});
+    EXPECT_GT(b.areaMm2 / a.areaMm2, 2.0);
+    EXPECT_LT(b.areaMm2 / a.areaMm2, 4.0);
+
+    // Doubling registers only doubles the array height.
+    const auto c = regFileTiming({256, 8, 4, 64});
+    EXPECT_NEAR(c.areaMm2 / a.areaMm2, 2.0, 0.01);
+}
+
+TEST(RegFileTiming, InPaperBand)
+{
+    // Figure 10 plots 0.1-1 ns for 0.5 um register files in the
+    // 32-256 entry range.
+    for (int regs : {32, 64, 128, 256}) {
+        for (int w : {4, 8}) {
+            const auto t =
+                regFileTiming(intRegFileGeometry(w, regs));
+            EXPECT_GT(t.cycleNs, 0.1) << regs << "x" << w;
+            EXPECT_LT(t.cycleNs, 1.6) << regs << "x" << w;
+        }
+    }
+}
+
+TEST(RegFileTiming, FpFileFasterThanInt)
+{
+    // Half the ports -> always faster (paper Figure 10 note).
+    for (int regs : {32, 64, 128, 256}) {
+        for (int w : {4, 8}) {
+            const auto ti = regFileTiming(intRegFileGeometry(w, regs));
+            const auto tf = regFileTiming(fpRegFileGeometry(w, regs));
+            EXPECT_LT(tf.cycleNs, ti.cycleNs);
+        }
+    }
+}
+
+TEST(RegFileTiming, GeometryHelpers)
+{
+    const auto g4 = intRegFileGeometry(4, 80);
+    EXPECT_EQ(g4.readPorts, 8);
+    EXPECT_EQ(g4.writePorts, 4);
+    const auto g8 = intRegFileGeometry(8, 80);
+    EXPECT_EQ(g8.readPorts, 16);
+    EXPECT_EQ(g8.writePorts, 8);
+    const auto f4 = fpRegFileGeometry(4, 80);
+    EXPECT_EQ(f4.readPorts, 4);
+    EXPECT_EQ(f4.writePorts, 2);
+}
+
+TEST(RegFileTiming, AccessDecomposition)
+{
+    const auto t = regFileTiming({64, 8, 4, 64});
+    EXPECT_NEAR(t.accessNs,
+                t.decoderNs + t.wordlineNs + t.bitlineNs + t.senseNs,
+                1e-12);
+    EXPECT_GT(t.cycleNs, t.accessNs);
+}
+
+TEST(RegFileTiming, RejectsBadGeometry)
+{
+    EXPECT_THROW(regFileTiming({1, 8, 4, 64}), FatalError);
+    EXPECT_THROW(regFileTiming({64, 0, 4, 64}), FatalError);
+    EXPECT_THROW(regFileTiming({64, 8, 0, 64}), FatalError);
+}
+
+TEST(RegFileTiming, BipsEstimate)
+{
+    EXPECT_DOUBLE_EQ(bipsEstimate(2.5, 0.5), 5.0);
+}
+
+TEST(RegFileTiming, BipsHasInteriorMaximumForSaturatingIpc)
+{
+    // With an IPC curve that saturates (as in Figure 6), BIPS must
+    // peak at a moderate register count: cycle time keeps growing
+    // after IPC flattens (paper Figure 10 discussion).
+    const int sizes[] = {32, 48, 64, 80, 96, 128, 160, 256};
+    double best = 0.0;
+    int best_size = 0;
+    for (const int regs : sizes) {
+        // Saturating-IPC toy curve resembling Figure 6(a).
+        const double ipc = 2.5 - 1.5 / (1.0 + (regs - 30) / 25.0);
+        const auto t = regFileTiming(intRegFileGeometry(4, regs));
+        const double bips = bipsEstimate(ipc, t.cycleNs);
+        if (bips > best) {
+            best = bips;
+            best_size = regs;
+        }
+    }
+    EXPECT_GT(best_size, 32);
+    EXPECT_LT(best_size, 256);
+}
+
+} // namespace
+} // namespace drsim

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the pipeline trace facility.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/processor.hh"
+#include "workloads/builder.hh"
+
+namespace drsim {
+namespace {
+
+CoreConfig
+traceConfig()
+{
+    CoreConfig cfg;
+    cfg.issueWidth = 4;
+    cfg.dqSize = 32;
+    cfg.numPhysRegs = 128;
+    cfg.perfectICache = true;
+    return cfg;
+}
+
+std::size_t
+countLines(const std::string &s)
+{
+    std::size_t n = 0;
+    for (char c : s)
+        n += c == '\n';
+    return n;
+}
+
+TEST(PipeTrace, OneLinePerCommittedInstruction)
+{
+    ProgramBuilder b("traced");
+    b.li(intReg(1), 3);
+    const auto top = b.here();
+    b.subi(intReg(1), intReg(1), 1);
+    b.bne(intReg(1), top);
+    b.halt();
+
+    std::ostringstream os;
+    Processor proc(traceConfig(), b.build());
+    proc.setTrace(&os);
+    proc.run();
+
+    const std::string out = os.str();
+    // 1 + 3*2 + 1 committed instructions; loop branches predict well
+    // enough here that squashes may add a few more lines.
+    EXPECT_GE(countLines(out), proc.stats().committed);
+    EXPECT_NE(out.find("'bne r1, B"), std::string::npos);
+    EXPECT_NE(out.find("halt"), std::string::npos);
+    EXPECT_NE(out.find(" I@"), std::string::npos);
+    EXPECT_NE(out.find(" X@"), std::string::npos);
+    EXPECT_NE(out.find(" R@"), std::string::npos);
+}
+
+TEST(PipeTrace, MarksSquashesAndMisses)
+{
+    ProgramBuilder b("squashy");
+    Rng rng(3);
+    const Addr tab = b.allocWords(16384); // bigger than the cache
+    for (int i = 0; i < 16384; i += 7)
+        b.initWord(tab + Addr(i) * 8, rng.next());
+    b.li(intReg(1), std::int64_t(tab));
+    b.li(intReg(2), 120);
+    const auto top = b.here();
+    const auto skip = b.newLabel();
+    b.slli(intReg(3), intReg(2), 9);
+    b.xor_(intReg(3), intReg(3), intReg(2));
+    b.andi(intReg(3), intReg(3), 16383);
+    b.slli(intReg(3), intReg(3), 3);
+    b.add(intReg(3), intReg(3), intReg(1));
+    b.ldq(intReg(4), intReg(3), 0);      // often a miss
+    b.andi(intReg(4), intReg(4), 1);
+    b.beq(intReg(4), skip);              // data-dependent
+    b.addi(intReg(5), intReg(5), 1);
+    b.bind(skip);
+    b.subi(intReg(2), intReg(2), 1);
+    b.bne(intReg(2), top);
+    b.halt();
+
+    std::ostringstream os;
+    Processor proc(traceConfig(), b.build());
+    proc.setTrace(&os);
+    proc.run();
+
+    const std::string out = os.str();
+    EXPECT_NE(out.find("MISS"), std::string::npos);
+    ASSERT_GT(proc.stats().recoveries, 0u);
+    EXPECT_NE(out.find("SQUASHED@"), std::string::npos);
+    EXPECT_NE(out.find("MISPRED"), std::string::npos);
+}
+
+TEST(PipeTrace, MarksForwardedLoads)
+{
+    ProgramBuilder b("fwd");
+    const Addr buf = b.allocWords(1);
+    b.li(intReg(1), std::int64_t(buf));
+    b.li(intReg(2), 5);
+    b.stq(intReg(2), intReg(1), 0);
+    b.ldq(intReg(3), intReg(1), 0);
+    b.halt();
+
+    std::ostringstream os;
+    Processor proc(traceConfig(), b.build());
+    proc.setTrace(&os);
+    proc.run();
+    EXPECT_NE(os.str().find("FWD"), std::string::npos);
+}
+
+TEST(PipeTrace, DisabledByDefaultAndDetachable)
+{
+    ProgramBuilder b("quiet");
+    b.li(intReg(1), 1);
+    b.halt();
+    const Program prog = b.build();
+
+    Processor p1(traceConfig(), prog);
+    p1.run(); // no trace attached: must not crash
+
+    std::ostringstream os;
+    Processor p2(traceConfig(), prog);
+    p2.setTrace(&os);
+    p2.tick();
+    p2.setTrace(nullptr); // detach mid-run
+    p2.run();
+    // Only events from the traced window appear.
+    EXPECT_LE(countLines(os.str()), 2u);
+}
+
+TEST(PipeTrace, CyclesAreOrdered)
+{
+    ProgramBuilder b("order");
+    for (int i = 0; i < 10; ++i)
+        b.addi(intReg(1), intReg(1), 1);
+    b.halt();
+
+    std::ostringstream os;
+    Processor proc(traceConfig(), b.build());
+    proc.setTrace(&os);
+    proc.run();
+
+    // Parse each line's I@/X@/C@/R@ and check monotonicity.
+    std::istringstream in(os.str());
+    std::string line;
+    int checked = 0;
+    while (std::getline(in, line)) {
+        const auto grab = [&](const char *tag) -> long {
+            const auto p = line.find(tag);
+            if (p == std::string::npos)
+                return -1;
+            return std::strtol(line.c_str() + p + 2, nullptr, 10);
+        };
+        const long i = grab("I@");
+        const long x = grab("X@");
+        const long c = grab("C@");
+        const long r = grab("R@");
+        ASSERT_GE(i, 0);
+        ASSERT_GE(x, i);
+        ASSERT_GE(c, x);
+        ASSERT_GE(r, c);
+        ++checked;
+    }
+    EXPECT_EQ(checked, 11);
+}
+
+} // namespace
+} // namespace drsim
