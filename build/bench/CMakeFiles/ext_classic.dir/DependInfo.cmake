@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_classic.cc" "bench/CMakeFiles/ext_classic.dir/ext_classic.cc.o" "gcc" "bench/CMakeFiles/ext_classic.dir/ext_classic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/drsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/drsim_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/drsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/drsim_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/drsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/drsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/drsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/drsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

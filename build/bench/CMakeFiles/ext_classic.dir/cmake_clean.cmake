@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_classic.dir/ext_classic.cc.o"
+  "CMakeFiles/ext_classic.dir/ext_classic.cc.o.d"
+  "ext_classic"
+  "ext_classic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_classic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_critical_paths.dir/ext_critical_paths.cc.o"
+  "CMakeFiles/ext_critical_paths.dir/ext_critical_paths.cc.o.d"
+  "ext_critical_paths"
+  "ext_critical_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_critical_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

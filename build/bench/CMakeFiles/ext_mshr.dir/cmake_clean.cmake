@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mshr.dir/ext_mshr.cc.o"
+  "CMakeFiles/ext_mshr.dir/ext_mshr.cc.o.d"
+  "ext_mshr"
+  "ext_mshr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mshr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

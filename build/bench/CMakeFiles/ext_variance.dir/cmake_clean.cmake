@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_variance.dir/ext_variance.cc.o"
+  "CMakeFiles/ext_variance.dir/ext_variance.cc.o.d"
+  "ext_variance"
+  "ext_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_writebuffer.dir/ext_writebuffer.cc.o"
+  "CMakeFiles/ext_writebuffer.dir/ext_writebuffer.cc.o.d"
+  "ext_writebuffer"
+  "ext_writebuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_writebuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

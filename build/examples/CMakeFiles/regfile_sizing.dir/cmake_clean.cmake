@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regfile_sizing.dir/regfile_sizing.cpp.o"
+  "CMakeFiles/regfile_sizing.dir/regfile_sizing.cpp.o.d"
+  "regfile_sizing"
+  "regfile_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regfile_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

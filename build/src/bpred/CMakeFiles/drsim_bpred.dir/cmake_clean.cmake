@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drsim_bpred.dir/mcfarling.cc.o"
+  "CMakeFiles/drsim_bpred.dir/mcfarling.cc.o.d"
+  "libdrsim_bpred.a"
+  "libdrsim_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drsim_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

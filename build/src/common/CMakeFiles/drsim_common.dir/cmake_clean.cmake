@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drsim_common.dir/logging.cc.o"
+  "CMakeFiles/drsim_common.dir/logging.cc.o.d"
+  "CMakeFiles/drsim_common.dir/stats.cc.o"
+  "CMakeFiles/drsim_common.dir/stats.cc.o.d"
+  "libdrsim_common.a"
+  "libdrsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

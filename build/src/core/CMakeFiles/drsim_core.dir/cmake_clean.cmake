@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drsim_core.dir/processor.cc.o"
+  "CMakeFiles/drsim_core.dir/processor.cc.o.d"
+  "CMakeFiles/drsim_core.dir/regfile.cc.o"
+  "CMakeFiles/drsim_core.dir/regfile.cc.o.d"
+  "libdrsim_core.a"
+  "libdrsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drsim_isa.dir/instruction.cc.o"
+  "CMakeFiles/drsim_isa.dir/instruction.cc.o.d"
+  "libdrsim_isa.a"
+  "libdrsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

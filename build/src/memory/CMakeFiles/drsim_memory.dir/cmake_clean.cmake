@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drsim_memory.dir/cache.cc.o"
+  "CMakeFiles/drsim_memory.dir/cache.cc.o.d"
+  "libdrsim_memory.a"
+  "libdrsim_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drsim_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

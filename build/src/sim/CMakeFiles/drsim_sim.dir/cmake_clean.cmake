@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drsim_sim.dir/options.cc.o"
+  "CMakeFiles/drsim_sim.dir/options.cc.o.d"
+  "CMakeFiles/drsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/drsim_sim.dir/simulator.cc.o.d"
+  "libdrsim_sim.a"
+  "libdrsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

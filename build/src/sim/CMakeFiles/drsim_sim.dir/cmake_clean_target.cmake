@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrsim_sim.a"
+)

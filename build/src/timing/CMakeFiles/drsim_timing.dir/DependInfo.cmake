@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/regfile_timing.cc" "src/timing/CMakeFiles/drsim_timing.dir/regfile_timing.cc.o" "gcc" "src/timing/CMakeFiles/drsim_timing.dir/regfile_timing.cc.o.d"
+  "/root/repo/src/timing/structures.cc" "src/timing/CMakeFiles/drsim_timing.dir/structures.cc.o" "gcc" "src/timing/CMakeFiles/drsim_timing.dir/structures.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

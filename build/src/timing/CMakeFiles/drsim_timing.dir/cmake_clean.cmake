@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drsim_timing.dir/regfile_timing.cc.o"
+  "CMakeFiles/drsim_timing.dir/regfile_timing.cc.o.d"
+  "CMakeFiles/drsim_timing.dir/structures.cc.o"
+  "CMakeFiles/drsim_timing.dir/structures.cc.o.d"
+  "libdrsim_timing.a"
+  "libdrsim_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drsim_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

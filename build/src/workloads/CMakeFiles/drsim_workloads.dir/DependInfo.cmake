@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/builder.cc" "src/workloads/CMakeFiles/drsim_workloads.dir/builder.cc.o" "gcc" "src/workloads/CMakeFiles/drsim_workloads.dir/builder.cc.o.d"
+  "/root/repo/src/workloads/classic.cc" "src/workloads/CMakeFiles/drsim_workloads.dir/classic.cc.o" "gcc" "src/workloads/CMakeFiles/drsim_workloads.dir/classic.cc.o.d"
+  "/root/repo/src/workloads/emulator.cc" "src/workloads/CMakeFiles/drsim_workloads.dir/emulator.cc.o" "gcc" "src/workloads/CMakeFiles/drsim_workloads.dir/emulator.cc.o.d"
+  "/root/repo/src/workloads/kernels/compress.cc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/compress.cc.o" "gcc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/compress.cc.o.d"
+  "/root/repo/src/workloads/kernels/doduc.cc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/doduc.cc.o" "gcc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/doduc.cc.o.d"
+  "/root/repo/src/workloads/kernels/espresso.cc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/espresso.cc.o" "gcc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/espresso.cc.o.d"
+  "/root/repo/src/workloads/kernels/gcc1.cc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/gcc1.cc.o" "gcc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/gcc1.cc.o.d"
+  "/root/repo/src/workloads/kernels/mdljdp2.cc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/mdljdp2.cc.o" "gcc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/mdljdp2.cc.o.d"
+  "/root/repo/src/workloads/kernels/mdljsp2.cc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/mdljsp2.cc.o" "gcc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/mdljsp2.cc.o.d"
+  "/root/repo/src/workloads/kernels/ora.cc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/ora.cc.o" "gcc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/ora.cc.o.d"
+  "/root/repo/src/workloads/kernels/su2cor.cc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/su2cor.cc.o" "gcc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/su2cor.cc.o.d"
+  "/root/repo/src/workloads/kernels/tomcatv.cc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/tomcatv.cc.o" "gcc" "src/workloads/CMakeFiles/drsim_workloads.dir/kernels/tomcatv.cc.o.d"
+  "/root/repo/src/workloads/program.cc" "src/workloads/CMakeFiles/drsim_workloads.dir/program.cc.o" "gcc" "src/workloads/CMakeFiles/drsim_workloads.dir/program.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/drsim_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/drsim_workloads.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/drsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/drsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drsim_workloads.dir/builder.cc.o"
+  "CMakeFiles/drsim_workloads.dir/builder.cc.o.d"
+  "CMakeFiles/drsim_workloads.dir/classic.cc.o"
+  "CMakeFiles/drsim_workloads.dir/classic.cc.o.d"
+  "CMakeFiles/drsim_workloads.dir/emulator.cc.o"
+  "CMakeFiles/drsim_workloads.dir/emulator.cc.o.d"
+  "CMakeFiles/drsim_workloads.dir/kernels/compress.cc.o"
+  "CMakeFiles/drsim_workloads.dir/kernels/compress.cc.o.d"
+  "CMakeFiles/drsim_workloads.dir/kernels/doduc.cc.o"
+  "CMakeFiles/drsim_workloads.dir/kernels/doduc.cc.o.d"
+  "CMakeFiles/drsim_workloads.dir/kernels/espresso.cc.o"
+  "CMakeFiles/drsim_workloads.dir/kernels/espresso.cc.o.d"
+  "CMakeFiles/drsim_workloads.dir/kernels/gcc1.cc.o"
+  "CMakeFiles/drsim_workloads.dir/kernels/gcc1.cc.o.d"
+  "CMakeFiles/drsim_workloads.dir/kernels/mdljdp2.cc.o"
+  "CMakeFiles/drsim_workloads.dir/kernels/mdljdp2.cc.o.d"
+  "CMakeFiles/drsim_workloads.dir/kernels/mdljsp2.cc.o"
+  "CMakeFiles/drsim_workloads.dir/kernels/mdljsp2.cc.o.d"
+  "CMakeFiles/drsim_workloads.dir/kernels/ora.cc.o"
+  "CMakeFiles/drsim_workloads.dir/kernels/ora.cc.o.d"
+  "CMakeFiles/drsim_workloads.dir/kernels/su2cor.cc.o"
+  "CMakeFiles/drsim_workloads.dir/kernels/su2cor.cc.o.d"
+  "CMakeFiles/drsim_workloads.dir/kernels/tomcatv.cc.o"
+  "CMakeFiles/drsim_workloads.dir/kernels/tomcatv.cc.o.d"
+  "CMakeFiles/drsim_workloads.dir/program.cc.o"
+  "CMakeFiles/drsim_workloads.dir/program.cc.o.d"
+  "CMakeFiles/drsim_workloads.dir/suite.cc.o"
+  "CMakeFiles/drsim_workloads.dir/suite.cc.o.d"
+  "libdrsim_workloads.a"
+  "libdrsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bpred.cc" "tests/CMakeFiles/drsim_tests.dir/test_bpred.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_bpred.cc.o.d"
+  "/root/repo/tests/test_builder.cc" "tests/CMakeFiles/drsim_tests.dir/test_builder.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_builder.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/drsim_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_classic.cc" "tests/CMakeFiles/drsim_tests.dir/test_classic.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_classic.cc.o.d"
+  "/root/repo/tests/test_emulator.cc" "tests/CMakeFiles/drsim_tests.dir/test_emulator.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_emulator.cc.o.d"
+  "/root/repo/tests/test_emulator_ops.cc" "tests/CMakeFiles/drsim_tests.dir/test_emulator_ops.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_emulator_ops.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/drsim_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/drsim_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/drsim_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/drsim_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_misc.cc" "tests/CMakeFiles/drsim_tests.dir/test_misc.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_misc.cc.o.d"
+  "/root/repo/tests/test_options.cc" "tests/CMakeFiles/drsim_tests.dir/test_options.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_options.cc.o.d"
+  "/root/repo/tests/test_processor.cc" "tests/CMakeFiles/drsim_tests.dir/test_processor.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_processor.cc.o.d"
+  "/root/repo/tests/test_processor_edge.cc" "tests/CMakeFiles/drsim_tests.dir/test_processor_edge.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_processor_edge.cc.o.d"
+  "/root/repo/tests/test_regfile.cc" "tests/CMakeFiles/drsim_tests.dir/test_regfile.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_regfile.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/drsim_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/drsim_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_structures.cc" "tests/CMakeFiles/drsim_tests.dir/test_structures.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_structures.cc.o.d"
+  "/root/repo/tests/test_sweeps.cc" "tests/CMakeFiles/drsim_tests.dir/test_sweeps.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_sweeps.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/drsim_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/drsim_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/drsim_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/drsim_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/drsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/drsim_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/drsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/drsim_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/drsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/drsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/drsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/drsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drsim.dir/drsim_main.cc.o"
+  "CMakeFiles/drsim.dir/drsim_main.cc.o.d"
+  "drsim"
+  "drsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
