@@ -59,18 +59,23 @@ main()
                 "cache\n");
     std::printf("%-28s %7s %7s %9s\n", "variant", "issIPC", "cmtIPC",
                 "mispred%");
+    std::vector<ExperimentSpec> specs;
     for (const Variant &v : kVariants) {
         CoreConfig cfg = paperConfig(4, 128);
         v.apply(cfg);
         cfg.maxCommitted = cap;
-        const SuiteResult res = runSuite(cfg, suite);
+        specs.push_back({v.name, cfg});
+    }
+    auto results = runExperiments(specs, suite);
+    for (const ExperimentResult &er : results) {
+        const SuiteResult &res = er.suite;
         double mispred = 0.0;
         for (const auto &r : res.runs())
             mispred += r.mispredictRate();
         mispred /= double(res.runs().size());
-        std::printf("%-28s %7.2f %7.2f %8.1f%%\n", v.name,
-                    res.avgIssueIpc(), res.avgCommitIpc(),
-                    100.0 * mispred);
+        std::printf("%-28s %7.2f %7.2f %8.1f%%\n",
+                    er.spec.name.c_str(), res.avgIssueIpc(),
+                    res.avgCommitIpc(), 100.0 * mispred);
     }
     std::printf("expected: in-order branches trade prediction "
                 "accuracy against IPC (the paper kept\nout-of-order "
@@ -80,23 +85,37 @@ main()
                 "queue).\n");
 
     // Register lifetimes under the two exception models.
+    std::vector<ExperimentSpec> lifetime_specs;
+    for (const auto model :
+         {ExceptionModel::Precise, ExceptionModel::Imprecise}) {
+        CoreConfig cfg = paperConfig(4, 80, model);
+        cfg.maxCommitted = cap;
+        lifetime_specs.push_back(
+            {std::string("lifetime-") + exceptionModelName(model) +
+                 "-r80",
+             cfg});
+    }
+    auto lifetimes = runExperiments(lifetime_specs, suite);
+
     std::printf("\nmean integer-register lifetime (cycles from "
                 "allocation to free), 80 registers:\n");
     std::printf("%-10s %10s %10s\n", "bench", "precise", "imprecise");
-    for (const auto &w : suite) {
-        double mean[2];
-        int m = 0;
-        for (const auto model : {ExceptionModel::Precise,
-                                 ExceptionModel::Imprecise}) {
-            CoreConfig cfg = paperConfig(4, 80, model);
-            cfg.maxCommitted = cap;
-            mean[m++] =
-                simulate(cfg, w).lifetime[int(RegClass::Int)].mean();
-        }
-        std::printf("%-10s %10.1f %10.1f\n", w.spec->name.c_str(),
-                    mean[0], mean[1]);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto mean_of = [&](const ExperimentResult &er) {
+            return er.suite.runs()[i]
+                .lifetime[int(RegClass::Int)]
+                .mean();
+        };
+        std::printf("%-10s %10.1f %10.1f\n",
+                    suite[i].spec->name.c_str(), mean_of(lifetimes[0]),
+                    mean_of(lifetimes[1]));
     }
     std::printf("expected: imprecise lifetimes shorter everywhere "
                 "(paper Section 3.2).\n");
+
+    // One artifact covering both sections of the study.
+    for (auto &er : lifetimes)
+        results.push_back(std::move(er));
+    emitResults("ablations", results, cap);
     return 0;
 }

@@ -2,12 +2,17 @@
  * @file
  * Shared helpers for the paper-reproduction harnesses.
  *
- * Every harness accepts two environment variables so run length can be
- * traded against fidelity:
+ * Every harness accepts environment variables so run length and
+ * parallelism can be traded against fidelity:
  *   DRSIM_SCALE          workload scale (default kDefaultSuiteScale;
  *                        one unit is roughly 10k committed insts)
  *   DRSIM_MAX_COMMITTED  per-run committed-instruction cap
  *                        (default per harness; 0 = run to halt)
+ *   DRSIM_JOBS           simulations run concurrently (default =
+ *                        hardware concurrency; 1 = serial legacy
+ *                        path; results are identical either way)
+ *   DRSIM_RESULTS_DIR    directory for the JSON results artifact
+ *                        each harness writes (default ".")
  */
 
 #ifndef DRSIM_BENCH_BENCH_UTIL_HH
@@ -17,6 +22,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/logging.hh"
+#include "sim/runner.hh"
 #include "sim/simulator.hh"
 
 namespace drsim {
@@ -58,6 +65,32 @@ paperConfig(int issue_width, int num_regs,
     cfg.exceptionModel = model;
     cfg.cacheKind = cache;
     return cfg;
+}
+
+/**
+ * Write the harness's JSON results artifact (docs/RESULTS_SCHEMA.md)
+ * to `$DRSIM_RESULTS_DIR/<id>_results.json` (directory default ".")
+ * and tell the user where it went.
+ */
+inline void
+emitResults(const char *id,
+            const std::vector<ExperimentResult> &results,
+            std::uint64_t max_committed)
+{
+    const char *dir = std::getenv("DRSIM_RESULTS_DIR");
+    const std::string path = std::string(dir != nullptr ? dir : ".") +
+                             "/" + id + "_results.json";
+    RunInfo info;
+    info.runId = id;
+    info.scale = suiteScale();
+    info.maxCommitted = max_committed;
+    try {
+        writeResultsFile(path, info, results);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s: %s\n", id, e.what());
+        std::exit(1);
+    }
+    std::printf("\n[%s] wrote JSON results to %s\n", id, path.c_str());
 }
 
 inline void

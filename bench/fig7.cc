@@ -31,6 +31,30 @@ main()
                                 CacheKind::LockupFree,
                                 CacheKind::Lockup};
 
+    // One spec per (model, width, regs, kind) point, in print order.
+    std::vector<ExperimentSpec> specs;
+    for (const auto model :
+         {ExceptionModel::Imprecise, ExceptionModel::Precise}) {
+        for (const int width : {4, 8}) {
+            for (const int regs :
+                 {32, 48, 64, 80, 96, 128, 160, 256}) {
+                for (const CacheKind kind : kinds) {
+                    CoreConfig cfg =
+                        paperConfig(width, regs, model, kind);
+                    cfg.maxCommitted = cap;
+                    specs.push_back(
+                        {"w" + std::to_string(width) + "-" +
+                             exceptionModelName(model) + "-r" +
+                             std::to_string(regs) + "-" +
+                             cacheKindName(kind),
+                         cfg});
+                }
+            }
+        }
+    }
+    const auto results = runExperiments(specs, suite);
+
+    std::size_t k = 0;
     for (const auto model :
          {ExceptionModel::Imprecise, ExceptionModel::Precise}) {
         std::printf("\n=== (%s exceptions) ===\n",
@@ -44,13 +68,9 @@ main()
                  {32, 48, 64, 80, 96, 128, 160, 256}) {
                 std::printf("%5d |", regs);
                 for (const CacheKind kind : kinds) {
-                    CoreConfig cfg =
-                        paperConfig(width, regs, model, kind);
-                    cfg.maxCommitted = cap;
-                    const SuiteResult res = runSuite(cfg, suite);
                     std::printf(" %*.2f",
                                 kind == CacheKind::LockupFree ? 12 : 8,
-                                res.avgCommitIpc());
+                                results[k++].suite.avgCommitIpc());
                 }
                 std::printf("\n");
             }
@@ -59,5 +79,6 @@ main()
     std::printf("\npaper reference: lockup-free ~= perfect >> lockup "
                 "at every size; e.g. the 8-way\nimprecise curves "
                 "saturate at ~96 registers for every memory model.\n");
+    emitResults("fig7", results, cap);
     return 0;
 }

@@ -23,22 +23,29 @@ main()
            "caches");
     const int scale = suiteScale();
     const std::uint64_t cap = maxCommitted(0);
-    const Workload w = buildWorkload("compress", scale);
+    std::vector<Workload> suite;
+    suite.push_back(buildWorkload("compress", scale));
 
     const CacheKind kinds[3] = {CacheKind::Perfect,
                                 CacheKind::LockupFree,
                                 CacheKind::Lockup};
-    std::vector<std::vector<double>> curves;
+    std::vector<ExperimentSpec> specs;
     for (const CacheKind kind : kinds) {
         CoreConfig cfg =
             paperConfig(4, 2048, ExceptionModel::Precise, kind);
         cfg.maxCommitted = cap;
-        const SimResult res = simulate(cfg, w);
-        curves.push_back(coverageCurve(
-            res.proc.live[int(RegClass::Int)][int(
-                LiveLevel::PreciseLive)]
-                .normalized()));
+        specs.push_back(
+            {std::string("compress-") + cacheKindName(kind), cfg});
     }
+    const auto results = runExperiments(specs, suite);
+
+    std::vector<std::vector<double>> curves;
+    for (const auto &res : results)
+        curves.push_back(coverageCurve(
+            res.suite.runs()[0]
+                .proc.live[int(RegClass::Int)][int(
+                    LiveLevel::PreciseLive)]
+                .normalized()));
 
     std::printf("%-10s %10s %12s %10s\n", "registers", "perfect",
                 "lockup-free", "lockup");
@@ -57,5 +64,6 @@ main()
                 "rightmost (more registers, wider spread);\nthe "
                 "lockup curve concentrates between ~55 and ~75 "
                 "registers; perfect needs the fewest.\n");
+    emitResults("fig8", results, cap);
     return 0;
 }

@@ -20,8 +20,7 @@ using namespace drsim::bench;
 namespace {
 
 void
-runWidth(int width, const std::vector<Workload> &suite,
-         std::uint64_t max_committed)
+printWidth(int width, const SuiteResult &res)
 {
     std::printf("\n--- %d-way issue, DQ=%d, 2048 registers, "
                 "lockup-free cache ---\n",
@@ -29,11 +28,7 @@ runWidth(int width, const std::vector<Workload> &suite,
     std::printf("%-9s %9s %9s %8s %8s | %6s %6s | %6s %6s\n",
                 "bench", "commit", "exec", "ld", "cbr", "issIPC",
                 "cmtIPC", "ld%", "cbr%");
-    double sum_issue = 0.0, sum_commit = 0.0;
-    for (const auto &w : suite) {
-        CoreConfig cfg = paperConfig(width, 2048);
-        cfg.maxCommitted = max_committed;
-        const SimResult r = simulate(cfg, w);
+    for (const SimResult &r : res.runs()) {
         std::printf(
             "%-9s %9llu %9llu %8llu %8llu | %6.2f %6.2f | %5.1f%% "
             "%5.1f%%\n",
@@ -43,12 +38,9 @@ runWidth(int width, const std::vector<Workload> &suite,
             (unsigned long long)r.proc.executedCondBranches,
             r.issueIpc(), r.commitIpc(), 100.0 * r.loadMissRate,
             100.0 * r.mispredictRate());
-        sum_issue += r.issueIpc();
-        sum_commit += r.commitIpc();
     }
     std::printf("%-9s %38s | %6.2f %6.2f |\n", "average", "",
-                sum_issue / double(suite.size()),
-                sum_commit / double(suite.size()));
+                res.avgIssueIpc(), res.avgCommitIpc());
 }
 
 } // namespace
@@ -64,8 +56,16 @@ main()
                 "(0 = to completion)\n",
                 scale, (unsigned long long)cap);
     const auto suite = buildSpec92Suite(scale);
-    runWidth(4, suite, cap);
-    runWidth(8, suite, cap);
+
+    std::vector<ExperimentSpec> specs;
+    for (const int width : {4, 8}) {
+        CoreConfig cfg = paperConfig(width, 2048);
+        cfg.maxCommitted = cap;
+        specs.push_back({"w" + std::to_string(width) + "-r2048", cfg});
+    }
+    const auto results = runExperiments(specs, suite);
+    printWidth(4, results[0].suite);
+    printWidth(8, results[1].suite);
     std::printf(
         "\npaper reference (Table 1, 4-way): compress 3.06/2.09 "
         "15%%/14%% | doduc 2.75/2.49 1%%/10%% | espresso 3.39/3.04 "
@@ -73,5 +73,6 @@ main()
         "3%%/6%% | mdljsp2 2.97/2.69 1%%/6%% | ora 1.86/1.86 "
         "0%%/6%%\n  su2cor 3.38/3.22 17%%/7%% | tomcatv 2.77/2.77 "
         "33%%/1%%\n");
+    emitResults("table1", results, cap);
     return 0;
 }

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * A fixed-size worker pool for fanning out independent simulations.
+ *
+ * The pool is deliberately minimal — no futures, no work stealing, no
+ * dynamic sizing: callers submit plain closures, then block in wait()
+ * until every submitted task has finished.  Results travel through
+ * whatever storage the closures capture (the experiment runner
+ * pre-sizes a result vector and has task i write slot i, so the
+ * completion *order* of tasks can never affect the assembled output).
+ *
+ * Exceptions thrown by a task are captured; wait() rethrows the first
+ * one after the batch has drained, leaving the pool reusable.  This is
+ * how fatal() configuration errors raised inside a worker reach the
+ * submitting thread (see logging.hh).
+ */
+
+#ifndef DRSIM_COMMON_THREAD_POOL_HH
+#define DRSIM_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace drsim {
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p num_threads workers (values < 1 are clamped to 1). */
+    explicit ThreadPool(int num_threads)
+    {
+        if (num_threads < 1)
+            num_threads = 1;
+        workers_.reserve(std::size_t(num_threads));
+        for (int i = 0; i < num_threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        workAvailable_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int numThreads() const { return int(workers_.size()); }
+
+    /** Enqueue @p task; it may start running immediately. */
+    void
+    submit(std::function<void()> task)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            tasks_.push_back(std::move(task));
+            ++unfinished_;
+        }
+        workAvailable_.notify_one();
+    }
+
+    /**
+     * Block until every task submitted so far has finished.  If any
+     * task threw, rethrows the first captured exception (later ones
+     * are dropped) and clears it, so the pool stays usable for the
+     * next batch.  Waiting on an empty pool returns immediately.
+     */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        batchDone_.wait(lock, [this] { return unfinished_ == 0; });
+        if (firstError_) {
+            std::exception_ptr err = firstError_;
+            firstError_ = nullptr;
+            std::rethrow_exception(err);
+        }
+    }
+
+    /**
+     * Convenience: run fn(0) .. fn(count - 1) on the pool and wait.
+     * @p fn must be safe to invoke concurrently for distinct indices.
+     */
+    template <typename Fn>
+    void
+    parallelFor(std::size_t count, Fn &&fn)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            submit([&fn, i] { fn(i); });
+        wait();
+    }
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static int
+    hardwareJobs()
+    {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : int(hw);
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                workAvailable_.wait(lock, [this] {
+                    return stopping_ || !tasks_.empty();
+                });
+                if (tasks_.empty())
+                    return; // stopping, queue drained
+                task = std::move(tasks_.front());
+                tasks_.pop_front();
+            }
+            std::exception_ptr err;
+            try {
+                task();
+            } catch (...) {
+                err = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (err && !firstError_)
+                    firstError_ = err;
+                --unfinished_;
+                if (unfinished_ == 0)
+                    batchDone_.notify_all();
+            }
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable batchDone_;
+    std::deque<std::function<void()>> tasks_;
+    std::vector<std::thread> workers_;
+    std::size_t unfinished_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+} // namespace drsim
+
+#endif // DRSIM_COMMON_THREAD_POOL_HH

@@ -1,0 +1,315 @@
+#include "sim/runner.hh"
+
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace drsim {
+
+int
+resolveJobs(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("DRSIM_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return int(v);
+        warn("ignoring invalid DRSIM_JOBS='", env, "'");
+    }
+    return ThreadPool::hardwareJobs();
+}
+
+SuiteResult
+runSuite(const CoreConfig &config, const std::vector<Workload> &suite,
+         int jobs)
+{
+    jobs = resolveJobs(jobs);
+    if (jobs == 1 || suite.size() <= 1)
+        return runSuite(config, suite); // legacy serial path
+
+    std::vector<SimResult> runs(suite.size());
+    ThreadPool pool(jobs);
+    pool.parallelFor(suite.size(), [&](std::size_t i) {
+        runs[i] = simulate(config, suite[i]);
+    });
+    return SuiteResult(std::move(runs));
+}
+
+std::vector<ExperimentResult>
+runExperiments(const std::vector<ExperimentSpec> &specs,
+               const std::vector<Workload> &suite, int jobs)
+{
+    if (specs.empty())
+        fatal("runExperiments needs at least one spec");
+    jobs = resolveJobs(jobs);
+
+    // One flat (spec, workload) task grid so small sweeps still fill
+    // every worker; slot (s, w) is written by exactly one task.
+    std::vector<std::vector<SimResult>> grid(
+        specs.size(), std::vector<SimResult>(suite.size()));
+    const std::size_t total = specs.size() * suite.size();
+    const auto runCell = [&](std::size_t flat) {
+        const std::size_t s = flat / suite.size();
+        const std::size_t w = flat % suite.size();
+        grid[s][w] = simulate(specs[s].config, suite[w]);
+    };
+    if (jobs == 1 || total <= 1) {
+        for (std::size_t flat = 0; flat < total; ++flat)
+            runCell(flat);
+    } else {
+        ThreadPool pool(jobs);
+        pool.parallelFor(total, runCell);
+    }
+
+    std::vector<ExperimentResult> results;
+    results.reserve(specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s)
+        results.push_back({specs[s], SuiteResult(std::move(grid[s]))});
+    return results;
+}
+
+namespace {
+
+/** Minimal JSON emitter: deterministic, shortest-round-trip doubles. */
+class JsonOut
+{
+  public:
+    explicit JsonOut(std::ostream &os) : os_(os) {}
+
+    void
+    string(const std::string &s)
+    {
+        os_ << '"';
+        for (const char c : s) {
+            switch (c) {
+              case '"': os_ << "\\\""; break;
+              case '\\': os_ << "\\\\"; break;
+              case '\n': os_ << "\\n"; break;
+              case '\t': os_ << "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    os_ << buf;
+                } else {
+                    os_ << c;
+                }
+            }
+        }
+        os_ << '"';
+    }
+
+    void
+    number(double v)
+    {
+        // std::to_chars emits the shortest string that round-trips,
+        // locale-independent — the determinism the schema promises.
+        char buf[64];
+        const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+        os_.write(buf, res.ptr - buf);
+    }
+
+    void number(std::uint64_t v) { os_ << v; }
+    void number(int v) { os_ << v; }
+    void boolean(bool v) { os_ << (v ? "true" : "false"); }
+    void raw(const char *s) { os_ << s; }
+
+    /** "key": prefix at the current indent. */
+    void
+    key(int indent, const char *name)
+    {
+        pad(indent);
+        os_ << '"' << name << "\": ";
+    }
+
+    void
+    pad(int indent)
+    {
+        for (int i = 0; i < indent; ++i)
+            os_ << ' ';
+    }
+
+  private:
+    std::ostream &os_;
+};
+
+const char *
+stopReasonName(StopReason r)
+{
+    switch (r) {
+      case StopReason::Running: return "running";
+      case StopReason::Halted: return "halted";
+      case StopReason::InstLimit: return "inst-limit";
+    }
+    return "unknown";
+}
+
+void
+emitWorkload(JsonOut &j, const SimResult &r, int in)
+{
+    j.pad(in); j.raw("{\n");
+    j.key(in + 2, "name"); j.string(r.workload); j.raw(",\n");
+    j.key(in + 2, "fp_intensive"); j.boolean(r.fpIntensive);
+    j.raw(",\n");
+    j.key(in + 2, "stop_reason");
+    j.string(stopReasonName(r.stopReason)); j.raw(",\n");
+    j.key(in + 2, "cycles"); j.number(std::uint64_t(r.proc.cycles));
+    j.raw(",\n");
+    j.key(in + 2, "committed"); j.number(r.proc.committed);
+    j.raw(",\n");
+    j.key(in + 2, "executed"); j.number(r.proc.executed); j.raw(",\n");
+    j.key(in + 2, "executed_loads"); j.number(r.proc.executedLoads);
+    j.raw(",\n");
+    j.key(in + 2, "executed_cond_branches");
+    j.number(r.proc.executedCondBranches); j.raw(",\n");
+    j.key(in + 2, "issue_ipc"); j.number(r.issueIpc()); j.raw(",\n");
+    j.key(in + 2, "commit_ipc"); j.number(r.commitIpc()); j.raw(",\n");
+    j.key(in + 2, "load_miss_rate"); j.number(r.loadMissRate);
+    j.raw(",\n");
+    j.key(in + 2, "mispredict_rate"); j.number(r.mispredictRate());
+    j.raw(",\n");
+    j.key(in + 2, "no_free_reg_pct"); j.number(r.noFreeRegPct());
+    j.raw("\n");
+    j.pad(in); j.raw("}");
+}
+
+void
+emitLivePercentiles(JsonOut &j, const SuiteResult &suite, RegClass cls,
+                    int in)
+{
+    static const struct { const char *name; LiveLevel level; } kLevels[] = {
+        {"in_flight", LiveLevel::InFlight},
+        {"plus_queue", LiveLevel::PlusQueue},
+        {"imprecise", LiveLevel::ImpreciseLive},
+        {"precise", LiveLevel::PreciseLive},
+    };
+    j.raw("{\n");
+    for (std::size_t i = 0; i < 4; ++i) {
+        j.key(in + 2, kLevels[i].name);
+        j.number(suite.livePercentile(cls, kLevels[i].level, 0.90));
+        j.raw(i + 1 < 4 ? ",\n" : "\n");
+    }
+    j.pad(in); j.raw("}");
+}
+
+void
+emitExperiment(JsonOut &j, const ExperimentResult &res, int in)
+{
+    const CoreConfig &cfg = res.spec.config;
+    j.pad(in); j.raw("{\n");
+    j.key(in + 2, "name"); j.string(res.spec.name); j.raw(",\n");
+
+    j.key(in + 2, "config"); j.raw("{\n");
+    j.key(in + 4, "issue_width"); j.number(cfg.issueWidth); j.raw(",\n");
+    j.key(in + 4, "dq_size"); j.number(cfg.dqSize); j.raw(",\n");
+    j.key(in + 4, "num_phys_regs"); j.number(cfg.numPhysRegs);
+    j.raw(",\n");
+    j.key(in + 4, "exception_model");
+    j.string(exceptionModelName(cfg.exceptionModel)); j.raw(",\n");
+    j.key(in + 4, "cache_kind"); j.string(cacheKindName(cfg.cacheKind));
+    j.raw(",\n");
+    j.key(in + 4, "max_committed"); j.number(cfg.maxCommitted);
+    j.raw("\n");
+    j.pad(in + 2); j.raw("},\n");
+
+    j.key(in + 2, "workloads"); j.raw("[\n");
+    const auto &runs = res.suite.runs();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        emitWorkload(j, runs[i], in + 4);
+        j.raw(i + 1 < runs.size() ? ",\n" : "\n");
+    }
+    j.pad(in + 2); j.raw("],\n");
+
+    bool any_fp = false;
+    bool any_live = false;
+    for (const auto &r : runs) {
+        any_fp = any_fp || r.fpIntensive;
+        any_live = any_live ||
+                   r.proc.live[int(RegClass::Int)]
+                             [int(LiveLevel::PreciseLive)]
+                                 .totalSamples() > 0;
+    }
+
+    j.key(in + 2, "summary"); j.raw("{\n");
+    j.key(in + 4, "avg_issue_ipc"); j.number(res.suite.avgIssueIpc());
+    j.raw(",\n");
+    j.key(in + 4, "avg_commit_ipc"); j.number(res.suite.avgCommitIpc());
+    j.raw(",\n");
+    j.key(in + 4, "avg_no_free_reg_pct");
+    j.number(res.suite.avgNoFreeRegPct());
+    if (any_live) {
+        j.raw(",\n");
+        j.key(in + 4, "live_p90"); j.raw("{\n");
+        j.key(in + 6, "int");
+        emitLivePercentiles(j, res.suite, RegClass::Int, in + 6);
+        if (any_fp) {
+            j.raw(",\n");
+            j.key(in + 6, "fp");
+            emitLivePercentiles(j, res.suite, RegClass::Fp, in + 6);
+        }
+        j.raw("\n");
+        j.pad(in + 4); j.raw("}");
+    }
+    j.raw("\n");
+    j.pad(in + 2); j.raw("}\n");
+    j.pad(in); j.raw("}");
+}
+
+} // namespace
+
+std::string
+resultsJson(const RunInfo &info,
+            const std::vector<ExperimentResult> &results)
+{
+    if (results.empty())
+        fatal("resultsJson needs at least one experiment");
+    std::ostringstream os;
+    JsonOut j(os);
+
+    j.raw("{\n");
+    j.key(2, "schema_version"); j.number(1); j.raw(",\n");
+    j.key(2, "run_id"); j.string(info.runId); j.raw(",\n");
+
+    j.key(2, "suite"); j.raw("{\n");
+    j.key(4, "scale"); j.number(info.scale); j.raw(",\n");
+    j.key(4, "max_committed"); j.number(info.maxCommitted); j.raw(",\n");
+    j.key(4, "workloads"); j.raw("[");
+    const auto &runs = results.front().suite.runs();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        j.string(runs[i].workload);
+        if (i + 1 < runs.size())
+            j.raw(", ");
+    }
+    j.raw("]\n");
+    j.pad(2); j.raw("},\n");
+
+    j.key(2, "experiments"); j.raw("[\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        emitExperiment(j, results[i], 4);
+        j.raw(i + 1 < results.size() ? ",\n" : "\n");
+    }
+    j.pad(2); j.raw("]\n");
+    j.raw("}\n");
+    return os.str();
+}
+
+void
+writeResultsFile(const std::string &path, const RunInfo &info,
+                 const std::vector<ExperimentResult> &results)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("cannot open results file '", path, "' for writing");
+    out << resultsJson(info, results);
+    out.flush();
+    if (!out)
+        fatal("failed writing results file '", path, "'");
+}
+
+} // namespace drsim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Parallel experiment runner and machine-readable result export.
+ *
+ * Every (configuration, workload) simulation is independent: a run
+ * owns its Processor, Emulator, caches, predictor and histograms, and
+ * only *reads* the shared Program (see DESIGN.md, "Concurrency
+ * model").  The runner exploits this by fanning runs out over a
+ * fixed-size thread pool and reassembling results by index, so the
+ * output is bit-identical to the serial runSuite() path no matter how
+ * many workers raced to produce it.
+ *
+ * Job-count resolution (resolveJobs): an explicit positive argument
+ * wins; otherwise the DRSIM_JOBS environment variable; otherwise the
+ * hardware concurrency.  A job count of 1 bypasses the pool entirely
+ * and takes the legacy serial path.
+ *
+ * runExperiments() runs a batch of *named* configurations over one
+ * suite and pairs naturally with resultsJson()/writeResultsFile(),
+ * which serialize the batch to the JSON schema documented in
+ * docs/RESULTS_SCHEMA.md.  The JSON deliberately excludes wall-clock
+ * times and the job count, so artifacts from serial and parallel runs
+ * of the same experiment are byte-identical and can be diffed.
+ */
+
+#ifndef DRSIM_SIM_RUNNER_HH
+#define DRSIM_SIM_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace drsim {
+
+/**
+ * Resolve an effective job count.  @p requested > 0 is used as-is;
+ * @p requested <= 0 falls back to DRSIM_JOBS (when set and valid),
+ * then to the hardware concurrency.  Always returns >= 1.
+ */
+int resolveJobs(int requested = 0);
+
+/**
+ * Parallel counterpart of runSuite() (simulator.hh): simulate every
+ * workload under @p config on @p jobs workers.  Results are assembled
+ * in workload order and are bit-identical to the serial path; jobs
+ * resolves via resolveJobs(), and a resolved count of 1 *is* the
+ * serial path.
+ */
+SuiteResult runSuite(const CoreConfig &config,
+                     const std::vector<Workload> &suite, int jobs);
+
+/** One named machine configuration in an experiment batch. */
+struct ExperimentSpec
+{
+    /** Stable identifier, e.g. "w4-precise-r80"; used in the JSON. */
+    std::string name;
+    CoreConfig config;
+};
+
+/** Suite results for one ExperimentSpec, in spec order. */
+struct ExperimentResult
+{
+    ExperimentSpec spec;
+    SuiteResult suite;
+};
+
+/**
+ * Run every spec over @p suite, fanning all (spec, workload) pairs
+ * out over one shared pool so small sweeps still fill every worker.
+ * Results are returned in spec order, each with its runs in workload
+ * order — identical to looping runSuite() over the specs serially.
+ */
+std::vector<ExperimentResult>
+runExperiments(const std::vector<ExperimentSpec> &specs,
+               const std::vector<Workload> &suite, int jobs = 0);
+
+/** Provenance recorded at the top level of a results file. */
+struct RunInfo
+{
+    /** Artifact identity, normally the harness name, e.g. "fig6". */
+    std::string runId;
+    /** DRSIM_SCALE in effect when the suite was built. */
+    int scale = 0;
+    /** DRSIM_MAX_COMMITTED in effect (0 = run to halt). */
+    std::uint64_t maxCommitted = 0;
+};
+
+/**
+ * Serialize an experiment batch to the schema in
+ * docs/RESULTS_SCHEMA.md (schema_version 1).  Deterministic: equal
+ * inputs yield byte-equal strings, independent of the job count.
+ */
+std::string resultsJson(const RunInfo &info,
+                        const std::vector<ExperimentResult> &results);
+
+/** Write resultsJson() to @p path; fatal() on I/O failure. */
+void writeResultsFile(const std::string &path, const RunInfo &info,
+                      const std::vector<ExperimentResult> &results);
+
+} // namespace drsim
+
+#endif // DRSIM_SIM_RUNNER_HH

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner (sim/runner.hh) and the
+ * thread pool underneath it (common/thread_pool.hh).
+ *
+ * The load-bearing property is *bit-identical determinism*: a suite
+ * run fanned out over N workers must reproduce the serial path's
+ * SimResults exactly — cycles, instruction counts, every histogram
+ * bucket — and therefore identical SuiteResult aggregates and JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "sim/runner.hh"
+
+namespace drsim {
+namespace {
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPool, WaitOnEmptyBatchReturnsImmediately)
+{
+    ThreadPool pool(4);
+    pool.wait(); // nothing submitted; must not block
+    pool.wait(); // and must stay reusable
+    EXPECT_EQ(pool.numThreads(), 4);
+}
+
+TEST(ThreadPool, ClampsNonPositiveThreadCounts)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.numThreads(), 1);
+    std::atomic<int> ran{0};
+    pool.submit([&] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, MoreWorkersThanTasks)
+{
+    ThreadPool pool(8);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 3; ++i)
+        pool.submit([&] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, RunsManyTasksAcrossBatches)
+{
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&] { ++sum; });
+        pool.wait();
+        EXPECT_EQ(sum.load(), 50 * (batch + 1));
+    }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable)
+{
+    ThreadPool pool(4);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    // The error must be cleared: the next healthy batch succeeds.
+    std::atomic<int> ran{0};
+    pool.submit([&] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, FirstExceptionWinsOthersDropped)
+{
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i)
+        pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    pool.wait(); // cleared; no tasks pending
+}
+
+TEST(ThreadPool, HardwareJobsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareJobs(), 1);
+}
+
+// ------------------------------------------------------ job resolution
+
+class JobsEnvGuard
+{
+  public:
+    explicit JobsEnvGuard(const char *value)
+    {
+        const char *old = std::getenv("DRSIM_JOBS");
+        had_ = old != nullptr;
+        if (had_)
+            old_ = old;
+        if (value != nullptr)
+            setenv("DRSIM_JOBS", value, 1);
+        else
+            unsetenv("DRSIM_JOBS");
+    }
+    ~JobsEnvGuard()
+    {
+        if (had_)
+            setenv("DRSIM_JOBS", old_.c_str(), 1);
+        else
+            unsetenv("DRSIM_JOBS");
+    }
+
+  private:
+    bool had_;
+    std::string old_;
+};
+
+TEST(ResolveJobs, ExplicitRequestWins)
+{
+    JobsEnvGuard guard("7");
+    EXPECT_EQ(resolveJobs(3), 3);
+}
+
+TEST(ResolveJobs, EnvVariableUsedWhenUnspecified)
+{
+    JobsEnvGuard guard("7");
+    EXPECT_EQ(resolveJobs(0), 7);
+    EXPECT_EQ(resolveJobs(-1), 7);
+}
+
+TEST(ResolveJobs, FallsBackToHardwareOnUnsetOrInvalid)
+{
+    {
+        JobsEnvGuard guard(nullptr);
+        EXPECT_EQ(resolveJobs(0), ThreadPool::hardwareJobs());
+    }
+    {
+        JobsEnvGuard guard("zero");
+        EXPECT_EQ(resolveJobs(0), ThreadPool::hardwareJobs());
+    }
+    {
+        JobsEnvGuard guard("0");
+        EXPECT_EQ(resolveJobs(0), ThreadPool::hardwareJobs());
+    }
+}
+
+// -------------------------------------------------------- determinism
+
+CoreConfig
+smallConfig()
+{
+    CoreConfig cfg;
+    cfg.issueWidth = 4;
+    cfg.dqSize = 32;
+    cfg.numPhysRegs = 64;
+    cfg.maxCommitted = 4000;
+    return cfg;
+}
+
+void
+expectHistogramsEqual(const Histogram &a, const Histogram &b)
+{
+    EXPECT_EQ(a.totalSamples(), b.totalSamples());
+    EXPECT_EQ(a.counts(), b.counts());
+}
+
+/** Field-by-field, bucket-by-bucket equality of two runs. */
+void
+expectRunsIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.fpIntensive, b.fpIntensive);
+    EXPECT_EQ(int(a.stopReason), int(b.stopReason));
+    EXPECT_EQ(a.proc.cycles, b.proc.cycles);
+    EXPECT_EQ(a.proc.committed, b.proc.committed);
+    EXPECT_EQ(a.proc.executed, b.proc.executed);
+    EXPECT_EQ(a.proc.executedLoads, b.proc.executedLoads);
+    EXPECT_EQ(a.proc.executedStores, b.proc.executedStores);
+    EXPECT_EQ(a.proc.executedCondBranches,
+              b.proc.executedCondBranches);
+    EXPECT_EQ(a.proc.mispredictedBranches,
+              b.proc.mispredictedBranches);
+    EXPECT_EQ(a.proc.noFreeRegCycles, b.proc.noFreeRegCycles);
+    EXPECT_EQ(a.icacheAccesses, b.icacheAccesses);
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses);
+    EXPECT_DOUBLE_EQ(a.loadMissRate, b.loadMissRate);
+    for (int c = 0; c < kNumRegClasses; ++c) {
+        for (int l = 0; l < 4; ++l)
+            expectHistogramsEqual(a.proc.live[c][l],
+                                  b.proc.live[c][l]);
+        expectHistogramsEqual(a.lifetime[c], b.lifetime[c]);
+    }
+}
+
+TEST(Runner, ParallelSuiteBitIdenticalToSerial)
+{
+    const auto suite = buildSpec92Suite(1);
+    const CoreConfig cfg = smallConfig();
+
+    const SuiteResult serial = runSuite(cfg, suite);
+    const SuiteResult parallel = runSuite(cfg, suite, 4);
+
+    ASSERT_EQ(serial.runs().size(), parallel.runs().size());
+    for (std::size_t i = 0; i < serial.runs().size(); ++i)
+        expectRunsIdentical(serial.runs()[i], parallel.runs()[i]);
+
+    // Aggregates and the paper's percentile metric follow exactly.
+    EXPECT_DOUBLE_EQ(serial.avgIssueIpc(), parallel.avgIssueIpc());
+    EXPECT_DOUBLE_EQ(serial.avgCommitIpc(), parallel.avgCommitIpc());
+    EXPECT_DOUBLE_EQ(serial.avgNoFreeRegPct(),
+                     parallel.avgNoFreeRegPct());
+    for (const auto cls : {RegClass::Int, RegClass::Fp})
+        for (int l = 0; l < 4; ++l)
+            EXPECT_EQ(
+                serial.livePercentile(cls, LiveLevel(l), 0.90),
+                parallel.livePercentile(cls, LiveLevel(l), 0.90));
+}
+
+TEST(Runner, SingleJobTakesSerialPath)
+{
+    const auto suite = buildSpec92Suite(1);
+    const CoreConfig cfg = smallConfig();
+    const SuiteResult serial = runSuite(cfg, suite);
+    const SuiteResult one_job = runSuite(cfg, suite, 1);
+    ASSERT_EQ(serial.runs().size(), one_job.runs().size());
+    for (std::size_t i = 0; i < serial.runs().size(); ++i)
+        expectRunsIdentical(serial.runs()[i], one_job.runs()[i]);
+}
+
+TEST(Runner, ExperimentsMatchSerialLoopAndKeepSpecOrder)
+{
+    const auto suite = buildSpec92Suite(1);
+    std::vector<ExperimentSpec> specs;
+    for (const int regs : {48, 64, 96}) {
+        CoreConfig cfg = smallConfig();
+        cfg.numPhysRegs = regs;
+        specs.push_back({"r" + std::to_string(regs), cfg});
+    }
+
+    const auto batch = runExperiments(specs, suite, 4);
+    ASSERT_EQ(batch.size(), specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        EXPECT_EQ(batch[s].spec.name, specs[s].name);
+        const SuiteResult serial = runSuite(specs[s].config, suite);
+        ASSERT_EQ(batch[s].suite.runs().size(),
+                  serial.runs().size());
+        for (std::size_t i = 0; i < serial.runs().size(); ++i)
+            expectRunsIdentical(serial.runs()[i],
+                                batch[s].suite.runs()[i]);
+    }
+}
+
+TEST(Runner, InvalidConfigErrorPropagatesFromWorkers)
+{
+    const auto suite = buildSpec92Suite(1);
+    std::vector<ExperimentSpec> specs;
+    CoreConfig bad = smallConfig();
+    bad.issueWidth = 6; // validate() rejects anything but 4 / 8
+    specs.push_back({"bad", bad});
+    EXPECT_THROW(runExperiments(specs, suite, 4), FatalError);
+    EXPECT_THROW(runSuite(bad, suite, 4), FatalError);
+}
+
+TEST(Runner, EmptySpecBatchIsRejected)
+{
+    const auto suite = buildSpec92Suite(1);
+    EXPECT_THROW(runExperiments({}, suite, 2), FatalError);
+}
+
+// --------------------------------------------------------- JSON export
+
+TEST(Runner, ResultsJsonIndependentOfJobCount)
+{
+    const auto suite = buildSpec92Suite(1);
+    std::vector<ExperimentSpec> specs;
+    specs.push_back({"base", smallConfig()});
+    RunInfo info;
+    info.runId = "test";
+    info.scale = 1;
+    info.maxCommitted = smallConfig().maxCommitted;
+
+    const std::string serial =
+        resultsJson(info, runExperiments(specs, suite, 1));
+    const std::string parallel =
+        resultsJson(info, runExperiments(specs, suite, 4));
+    EXPECT_EQ(serial, parallel); // byte-identical artifact
+}
+
+TEST(Runner, ResultsJsonCarriesSchemaFields)
+{
+    const auto suite = buildSpec92Suite(1);
+    std::vector<ExperimentSpec> specs;
+    specs.push_back({"base", smallConfig()});
+    RunInfo info;
+    info.runId = "schema-check";
+    info.scale = 1;
+
+    const std::string json =
+        resultsJson(info, runExperiments(specs, suite, 2));
+    for (const char *needle :
+         {"\"schema_version\": 1", "\"run_id\": \"schema-check\"",
+          "\"suite\"", "\"experiments\"", "\"config\"",
+          "\"issue_width\"", "\"exception_model\"", "\"cache_kind\"",
+          "\"workloads\"", "\"commit_ipc\"", "\"summary\"",
+          "\"avg_commit_ipc\"", "\"live_p90\"", "\"compress\""})
+        EXPECT_NE(json.find(needle), std::string::npos)
+            << "missing " << needle;
+}
+
+TEST(Runner, WriteResultsFileRoundTripsAndRejectsBadPath)
+{
+    const auto suite = buildSpec92Suite(1);
+    std::vector<ExperimentSpec> specs;
+    specs.push_back({"base", smallConfig()});
+    const auto results = runExperiments(specs, suite, 2);
+    RunInfo info;
+    info.runId = "roundtrip";
+    info.scale = 1;
+
+    const std::string path =
+        testing::TempDir() + "drsim_runner_roundtrip.json";
+    writeResultsFile(path, info, results);
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string contents;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        contents.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_EQ(contents, resultsJson(info, results));
+
+    EXPECT_THROW(writeResultsFile("/nonexistent-dir/x.json", info,
+                                  results),
+                 FatalError);
+}
+
+} // namespace
+} // namespace drsim
