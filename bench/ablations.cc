@@ -116,6 +116,7 @@ main()
     // One artifact covering both sections of the study.
     for (auto &er : lifetimes)
         results.push_back(std::move(er));
+    printStallSummary(results);
     emitResults("ablations", results, cap);
     return 0;
 }

@@ -93,6 +93,36 @@ emitResults(const char *id,
     std::printf("\n[%s] wrote JSON results to %s\n", id, path.c_str());
 }
 
+/**
+ * Print the exclusive stall-cause breakdown (suite averages, percent
+ * of cycles) for every experiment in @p results.  Causes that never
+ * fired anywhere are omitted to keep the table short.
+ */
+inline void
+printStallSummary(const std::vector<ExperimentResult> &results)
+{
+    std::printf("\n---- stall-cause breakdown (avg %% of cycles) "
+                "----\n");
+    std::printf("%-24s", "cause");
+    for (const auto &res : results)
+        std::printf(" %12.12s", res.spec.name.c_str());
+    std::printf("\n");
+    for (int c = 0; c < kNumCycleCauses; ++c) {
+        bool fired = false;
+        for (const auto &res : results)
+            for (const auto &r : res.suite.runs())
+                fired = fired ||
+                        r.proc.cycleCauseCount(CycleCause(c)) > 0;
+        if (!fired)
+            continue;
+        std::printf("%-24s", cycleCauseName(CycleCause(c)));
+        for (const auto &res : results)
+            std::printf(" %11.2f%%",
+                        res.suite.avgCausePct(CycleCause(c)));
+        std::printf("\n");
+    }
+}
+
 inline void
 banner(const char *title)
 {

@@ -65,6 +65,7 @@ main()
                 "from ~2 to ~3.4-3.8 saturating near 128; imprecise "
                 ">= precise throughout, converging\nat large sizes; "
                 "no-free-register time falls from >50%% toward 0.\n");
+    printStallSummary(results);
     emitResults("fig6", results, cap);
     return 0;
 }

@@ -79,6 +79,7 @@ main()
     std::printf("\npaper reference: lockup-free ~= perfect >> lockup "
                 "at every size; e.g. the 8-way\nimprecise curves "
                 "saturate at ~96 registers for every memory model.\n");
+    printStallSummary(results);
     emitResults("fig7", results, cap);
     return 0;
 }

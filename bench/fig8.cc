@@ -64,6 +64,7 @@ main()
                 "rightmost (more registers, wider spread);\nthe "
                 "lockup curve concentrates between ~55 and ~75 "
                 "registers; perfect needs the fewest.\n");
+    printStallSummary(results);
     emitResults("fig8", results, cap);
     return 0;
 }

@@ -73,6 +73,7 @@ main()
         "3%%/6%% | mdljsp2 2.97/2.69 1%%/6%% | ora 1.86/1.86 "
         "0%%/6%%\n  su2cor 3.38/3.22 17%%/7%% | tomcatv 2.77/2.77 "
         "33%%/1%%\n");
+    printStallSummary(results);
     emitResults("table1", results, cap);
     return 0;
 }

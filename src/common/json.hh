@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Minimal strict JSON support: a recursive-descent parser producing an
+ * immutable value tree, and the string escaper shared by every JSON
+ * emitter in the tree (the results exporter and the JSONL pipeline
+ * trace).
+ *
+ * The parser exists so the repo can *consume* its own artifacts — the
+ * `stall_report` tool renders stall-breakdown tables from any results
+ * file, and the exporter tests round-trip every emitted document —
+ * without an external dependency.  It is deliberately strict (RFC 8259
+ * grammar, no trailing commas, no comments, single top-level value,
+ * nothing after it) so an escaping bug in the emitter cannot ship
+ * silently: the round-trip test fails instead.
+ *
+ * Errors are reported via fatal() (a catchable FatalError), consistent
+ * with the rest of the tree.
+ */
+
+#ifndef DRSIM_COMMON_JSON_HH
+#define DRSIM_COMMON_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace drsim {
+namespace json {
+
+/** One parsed JSON value (object members keep document order). */
+class Value
+{
+  public:
+    enum class Kind : std::uint8_t {
+        Null, Bool, Number, String, Array, Object
+    };
+
+    using Member = std::pair<std::string, Value>;
+
+    Value() : kind_(Kind::Null) {}
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; fatal() when the kind does not match. */
+    bool asBool() const;
+    double asNumber() const;
+    /** asNumber() checked to be an exact non-negative integer. */
+    std::uint64_t asU64() const;
+    const std::string &asString() const;
+    const std::vector<Value> &items() const;
+    const std::vector<Member> &members() const;
+
+    /** Object member lookup; nullptr when absent (fatal if not an
+     *  object). */
+    const Value *find(const std::string &key) const;
+    /** Object member lookup; fatal() when absent. */
+    const Value &at(const std::string &key) const;
+    /** Array element; fatal() when out of range. */
+    const Value &at(std::size_t index) const;
+
+    /// @name Construction (used by the parser and tests)
+    /// @{
+    static Value makeNull() { return Value(); }
+    static Value makeBool(bool b);
+    static Value makeNumber(double v);
+    static Value makeString(std::string s);
+    static Value makeArray(std::vector<Value> items);
+    static Value makeObject(std::vector<Member> members);
+    /// @}
+
+  private:
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Value> items_;
+    std::vector<Member> members_;
+};
+
+/**
+ * Parse exactly one JSON document from @p text; fatal() (with a
+ * line/column location) on any deviation from the RFC 8259 grammar,
+ * including trailing content after the top-level value.
+ */
+Value parse(const std::string &text);
+
+/**
+ * Escape @p s for inclusion inside a JSON string literal (quotes not
+ * included).  Escapes the two mandatory characters, the common C
+ * escapes, and all other control characters as \u00XX.
+ */
+std::string escape(const std::string &s);
+
+} // namespace json
+} // namespace drsim
+
+#endif // DRSIM_COMMON_JSON_HH

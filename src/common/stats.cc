@@ -25,11 +25,17 @@ Histogram::percentile(double fraction) const
         fatal("percentile fraction ", fraction, " outside (0, 1]");
     if (total_ == 0)
         return 0;
-    const double target = fraction * static_cast<double>(total_);
+    // Accumulate the cumulative *fraction* and compare with the same
+    // rounding epsilon densityPercentile() uses, so the two paths
+    // agree bucket-for-bucket.  Comparing a raw running count against
+    // fraction * total skids to a later bucket whenever the product
+    // rounds up (e.g. 0.9 * 10 > 9) or, on large-total histograms,
+    // when the accumulation rounds below the target at fraction 1.0.
+    const double inv = 1.0 / static_cast<double>(total_);
     double running = 0.0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
-        running += static_cast<double>(counts_[i]);
-        if (running >= target)
+        running += static_cast<double>(counts_[i]) * inv;
+        if (running + 1e-12 >= fraction)
             return i;
     }
     return counts_.empty() ? 0 : counts_.size() - 1;

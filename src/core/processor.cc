@@ -3,9 +3,31 @@
 #include <algorithm>
 #include <ostream>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace drsim {
+
+const char *
+cycleCauseName(CycleCause cause)
+{
+    switch (cause) {
+      case CycleCause::Busy: return "busy";
+      case CycleCause::IssueWidthBound: return "issue_width_bound";
+      case CycleCause::WriteBufferFull: return "write_buffer_full";
+      case CycleCause::MemPortSaturated: return "mem_port_saturated";
+      case CycleCause::DividerBusy: return "divider_busy";
+      case CycleCause::DqFullInt: return "dq_full_int";
+      case CycleCause::DqFullFp: return "dq_full_fp";
+      case CycleCause::DqFullMem: return "dq_full_mem";
+      case CycleCause::NoFreeRegInt: return "no_free_reg_int";
+      case CycleCause::NoFreeRegFp: return "no_free_reg_fp";
+      case CycleCause::ICacheStall: return "icache_stall";
+      case CycleCause::FetchBlocked: return "fetch_blocked";
+      case CycleCause::OperandWait: return "operand_wait";
+    }
+    DRSIM_PANIC("invalid CycleCause ", int(cause));
+}
 
 /** Per-cycle issue budgets (paper Section 2.1 instruction-word rules). */
 struct IssueBudget
@@ -83,6 +105,7 @@ Processor::tick()
 {
     ++now_;
     redirectedThisCycle_ = false;
+    obs_ = CycleObs{};
     rename_.beginCycle(now_);
 
     commitStage();
@@ -109,6 +132,7 @@ Processor::tick()
 void
 Processor::commitStage()
 {
+    const std::uint64_t committed_before = stats_.committed;
     int budget = config_.commitWidth();
     while (budget > 0 && !window_.empty()) {
         DynInst &in = window_.front();
@@ -117,6 +141,7 @@ Processor::commitStage()
         in.state = InstState::Committed;
         --budget;
         ++stats_.committed;
+        obs_.committed = true;
         lastCommitCycle_ = now_;
 
         if (in.isLoad())
@@ -130,6 +155,10 @@ Processor::commitStage()
                 --stats_.committed;
                 ++budget;
                 ++stats_.writeBufferStallCycles;
+                obs_.writeBufferFull = true;
+                // The store never actually committed this cycle; only
+                // instructions retired ahead of it count as progress.
+                obs_.committed = stats_.committed > committed_before;
                 break;
             }
             ++stats_.committedStores;
@@ -252,6 +281,7 @@ Processor::finishIssue(DynInst &in, Cycle complete_at)
     in.state = InstState::Issued;
     in.issueCycle = now_;
     ++stats_.executed;
+    obs_.issued = true;
     if (in.isLoad())
         ++stats_.executedLoads;
     if (in.isStore())
@@ -302,12 +332,16 @@ Processor::issueLoad(DynInst &in)
         }
     }
 
-    if (!dcache_.loadCanIssue(now_))
+    if (!dcache_.loadCanIssue(now_)) {
+        obs_.memPortSaturated = true;
         return false; // lockup cache busy with a miss
+    }
 
     const LoadResult res = dcache_.load(in.effAddr, now_, in.uid);
-    if (!res.accepted)
+    if (!res.accepted) {
+        obs_.memPortSaturated = true;
         return false; // every MSHR in use; retry later
+    }
     in.fetchId = res.fetchId;
     in.cacheMiss = !res.hit;
     finishIssue(in, res.readyCycle);
@@ -327,22 +361,28 @@ Processor::tryIssue(DynInst &in, IssueBudget &budget)
     switch (cls) {
       case OpClass::IntAlu:
       case OpClass::IntMult:
-        if (budget.intOps == 0)
+        if (budget.intOps == 0) {
+            obs_.issueWidthBound = true;
             return false;
+        }
         finishIssue(in, now_ + opTraits(in.si->op).latency);
         --budget.intOps;
         break;
 
       case OpClass::FpAdd:
-        if (budget.fpOps == 0)
+        if (budget.fpOps == 0) {
+            obs_.issueWidthBound = true;
             return false;
+        }
         finishIssue(in, now_ + opTraits(in.si->op).latency);
         --budget.fpOps;
         break;
 
       case OpClass::FpDiv: {
-        if (budget.fpOps == 0 || budget.fpDiv == 0)
+        if (budget.fpOps == 0 || budget.fpDiv == 0) {
+            obs_.issueWidthBound = true;
             return false;
+        }
         int unit = -1;
         for (int u = 0; u < int(dividerBusyUntil_.size()); ++u) {
             if (dividerBusyUntil_[u] <= now_) {
@@ -350,8 +390,10 @@ Processor::tryIssue(DynInst &in, IssueBudget &budget)
                 break;
             }
         }
-        if (unit < 0)
+        if (unit < 0) {
+            obs_.dividerBusy = true;
             return false; // every unpipelined divider is busy
+        }
         const int lat = opTraits(in.si->op).latency;
         dividerBusyUntil_[unit] = now_ + lat;
         in.divUnit = unit;
@@ -362,23 +404,29 @@ Processor::tryIssue(DynInst &in, IssueBudget &budget)
       }
 
       case OpClass::MemLoad:
-        if (budget.mem == 0)
+        if (budget.mem == 0) {
+            obs_.memPortSaturated = true;
             return false;
+        }
         if (!issueLoad(in))
             return false;
         --budget.mem;
         break;
 
       case OpClass::MemStore:
-        if (budget.mem == 0)
+        if (budget.mem == 0) {
+            obs_.memPortSaturated = true;
             return false;
+        }
         finishIssue(in, now_ + opTraits(in.si->op).latency);
         --budget.mem;
         break;
 
       case OpClass::CtrlCond:
-        if (budget.ctrl == 0)
+        if (budget.ctrl == 0) {
+            obs_.issueWidthBound = true;
             return false;
+        }
         // Ablation: force conditional branches to execute in program
         // order (paper Section 3: better prediction, worse IPC).
         if (config_.inOrderBranches &&
@@ -391,8 +439,10 @@ Processor::tryIssue(DynInst &in, IssueBudget &budget)
         break;
 
       case OpClass::CtrlUncond:
-        if (budget.ctrl == 0)
+        if (budget.ctrl == 0) {
+            obs_.issueWidthBound = true;
             return false;
+        }
         finishIssue(in, now_ + opTraits(in.si->op).latency);
         --budget.ctrl;
         break;
@@ -415,6 +465,23 @@ Processor::queueFor(const Instruction &si)
         return dqFp_;
       default:
         return dq_; // integer and control
+    }
+}
+
+int
+Processor::queueIndexFor(const Instruction &si) const
+{
+    if (!config_.splitDispatchQueues)
+        return 0; // the unified queue reports as the int queue
+    switch (si.cls()) {
+      case OpClass::MemLoad:
+      case OpClass::MemStore:
+        return 2;
+      case OpClass::FpAdd:
+      case OpClass::FpDiv:
+        return 1;
+      default:
+        return 0;
     }
 }
 
@@ -474,6 +541,10 @@ Processor::issueStage()
         }
     }
     for (int q = 0; q < 3; ++q) {
+        // Entries never reached because the total budget ran out mean
+        // the cycle was width-limited, not dependence-limited.
+        if (budget.total == 0 && pos[q] < queues[q]->size())
+            obs_.issueWidthBound = true;
         for (; pos[q] < queues[q]->size(); ++pos[q])
             keep[q].push_back((*queues[q])[pos[q]]);
         queues[q]->swap(keep[q]);
@@ -487,6 +558,37 @@ void
 Processor::traceLine(const DynInst &in, bool squashed)
 {
     std::ostream &os = *trace_;
+    if (traceFormat_ == TraceFormat::Jsonl) {
+        // One self-contained JSON object per line; unknown stages are
+        // null so consumers need no sentinel knowledge.
+        os << "{\"seq\":" << in.seq << ",\"pc\":" << in.pc
+           << ",\"op\":\"" << json::escape(disassemble(*in.si))
+           << "\",\"insert\":" << in.insertCycle << ",\"issue\":";
+        if (in.issueCycle != kInvalidCycle)
+            os << in.issueCycle;
+        else
+            os << "null";
+        os << ",\"complete\":";
+        if (in.completeCycle != kInvalidCycle)
+            os << in.completeCycle;
+        else
+            os << "null";
+        if (squashed) {
+            os << ",\"squash\":" << now_;
+        } else {
+            os << ",\"retire\":" << now_;
+            if (in.isCondBranch())
+                os << ",\"mispredict\":"
+                   << (in.mispredicted ? "true" : "false");
+            if (in.isLoad())
+                os << ",\"cache_miss\":"
+                   << (in.cacheMiss ? "true" : "false")
+                   << ",\"forwarded\":"
+                   << (in.forwarded ? "true" : "false");
+        }
+        os << "}\n";
+        return;
+    }
     os << "seq=" << in.seq << " pc=0x" << std::hex << in.pc
        << std::dec << " '" << disassemble(*in.si) << "' I@"
        << in.insertCycle;
@@ -604,18 +706,16 @@ Processor::insertStage()
     if (redirectedThisCycle_)
         return;
 
-    bool stalled_no_reg = false;
-    bool stalled_dq_full = false;
-    bool blocked = false;
-
     int budget = config_.insertWidth();
     while (budget > 0) {
         if (emu_.fetchBlocked()) {
-            blocked = true;
+            obs_.fetchBlocked = true;
             break;
         }
-        if (now_ < icacheStallUntil_)
+        if (now_ < icacheStallUntil_) {
+            obs_.icacheStall = true;
             break;
+        }
 
         const Addr pc = emu_.pc();
         const Addr line = pc / config_.icache.lineBytes;
@@ -626,6 +726,7 @@ Processor::insertStage()
             lastFetchLineValid_ = true;
             if (ready > now_) {
                 icacheStallUntil_ = ready;
+                obs_.icacheStall = true;
                 break;
             }
         }
@@ -634,11 +735,11 @@ Processor::insertStage()
         // Insert stalls when the instruction's *target* queue is full
         // (for the unified queue this is the single dqSize bound).
         if (int(queueFor(*si).size()) >= queueCapacity(*si)) {
-            stalled_dq_full = true;
+            obs_.dqFull[queueIndexFor(*si)] = true;
             break;
         }
         if (si->writesReg() && !rename_.canAllocate(si->dest.cls)) {
-            stalled_no_reg = true;
+            obs_.noFreeReg[int(si->dest.cls)] = true;
             break;
         }
 
@@ -691,21 +792,63 @@ Processor::insertStage()
         --budget;
     }
 
-    if (stalled_no_reg)
+    // The legacy (non-exclusive) observation counters keep their
+    // original meaning; icache stalls were never counted here.
+    if (obs_.noFreeReg[int(RegClass::Int)] ||
+        obs_.noFreeReg[int(RegClass::Fp)]) {
         ++stats_.insertStallNoRegCycles;
-    if (stalled_dq_full)
+    }
+    if (obs_.dqFull[0] || obs_.dqFull[1] || obs_.dqFull[2])
         ++stats_.insertStallDqFullCycles;
-    if (blocked)
+    if (obs_.fetchBlocked)
         ++stats_.fetchBlockedCycles;
+}
+
+void
+Processor::classifyCycle()
+{
+    CycleCause cause = CycleCause::OperandWait;
+    if (obs_.issued || obs_.committed) {
+        // Productive cycle: at peak width, or simply busy.
+        cause = obs_.issueWidthBound ? CycleCause::IssueWidthBound
+                                     : CycleCause::Busy;
+    } else if (obs_.writeBufferFull) {
+        cause = CycleCause::WriteBufferFull;
+    } else if (obs_.memPortSaturated) {
+        cause = CycleCause::MemPortSaturated;
+    } else if (obs_.dividerBusy) {
+        cause = CycleCause::DividerBusy;
+    } else if (obs_.dqFull[0]) {
+        cause = CycleCause::DqFullInt;
+    } else if (obs_.dqFull[1]) {
+        cause = CycleCause::DqFullFp;
+    } else if (obs_.dqFull[2]) {
+        cause = CycleCause::DqFullMem;
+    } else if (obs_.noFreeReg[int(RegClass::Int)]) {
+        cause = CycleCause::NoFreeRegInt;
+    } else if (obs_.noFreeReg[int(RegClass::Fp)]) {
+        cause = CycleCause::NoFreeRegFp;
+    } else if (obs_.icacheStall) {
+        cause = CycleCause::ICacheStall;
+    } else if (obs_.fetchBlocked) {
+        cause = CycleCause::FetchBlocked;
+    }
+    ++stats_.causeCycles[int(cause)];
 }
 
 void
 Processor::sampleStats()
 {
     stats_.cycles = now_;
+    classifyCycle();
     if (rename_.freeCount(RegClass::Int) == 0 ||
         rename_.freeCount(RegClass::Fp) == 0) {
         ++stats_.noFreeRegCycles;
+    }
+    if (config_.collectOccupancyHistograms) {
+        stats_.dqDepth.addSample(dqOccupancy());
+        stats_.windowDepth.addSample(window_.size());
+        stats_.storeQueueDepth.addSample(storeQueue_.size());
     }
     if (!config_.collectLiveHistograms)
         return;

@@ -54,6 +54,48 @@ namespace drsim {
 /** Why the simulation stopped. */
 enum class StopReason : std::uint8_t { Running, Halted, InstLimit };
 
+/**
+ * Mutually exclusive per-cycle attribution of what the machine was
+ * doing (or why it was doing nothing).  Every simulated cycle is
+ * assigned exactly one cause, so the per-cause cycle counts sum to
+ * ProcStats::cycles — the invariant the observability layer is built
+ * on (see DESIGN.md, "Stall-cause attribution").
+ *
+ * A cycle that issued or committed at least one instruction is
+ * productive: Busy, or IssueWidthBound when the issue stage also ran
+ * out of per-cycle budget with ready work left behind (the machine was
+ * at peak but width-limited).  A cycle with no issue and no commit is
+ * a stall, attributed to the highest-priority blocked resource in the
+ * order listed below (back of the pipe outranks the front, since a
+ * downstream blockage starves everything behind it); OperandWait is
+ * the residual — nothing structural was blocked, the window was simply
+ * waiting on operands, latencies, or front-end fill.
+ */
+enum class CycleCause : std::uint8_t {
+    Busy = 0,         ///< issued/committed, no budget exhaustion
+    IssueWidthBound,  ///< issued at the width limit with work left
+    WriteBufferFull,  ///< commit blocked on the finite write buffer
+    MemPortSaturated, ///< cache/MSHRs refused a ready memory op
+    DividerBusy,      ///< every unpipelined divider occupied
+    DqFullInt,        ///< insert blocked: int (or unified) queue full
+    DqFullFp,         ///< insert blocked: floating-point queue full
+    DqFullMem,        ///< insert blocked: memory queue full
+    NoFreeRegInt,     ///< insert blocked: int free list empty
+    NoFreeRegFp,      ///< insert blocked: fp free list empty
+    ICacheStall,      ///< insert blocked on an instruction-cache miss
+    FetchBlocked,     ///< emulator out of instructions (drain/halt)
+    OperandWait,      ///< residual: dependencies and latencies
+};
+
+constexpr int kNumCycleCauses = 13;
+
+/** Stable snake_case identifier, e.g. "write_buffer_full" (also the
+ *  JSON key in the schema-v2 results artifact). */
+const char *cycleCauseName(CycleCause cause);
+
+/** Pipeline-trace output format (see Processor::setTrace). */
+enum class TraceFormat : std::uint8_t { Text, Jsonl };
+
 struct ProcStats
 {
     Cycle cycles = 0;
@@ -80,6 +122,38 @@ struct ProcStats
     std::uint64_t fetchBlockedCycles = 0;
     /** Cycles commit stalled on a full (finite) write buffer. */
     std::uint64_t writeBufferStallCycles = 0;
+
+    /**
+     * Exclusive per-cycle attribution, indexed by CycleCause: exactly
+     * one bucket is incremented every cycle, so the buckets sum to
+     * @ref cycles.  Unlike the observation counters above (which may
+     * overlap — several stages can report a stall in the same cycle),
+     * these support an additive stall-breakdown table.
+     */
+    std::uint64_t causeCycles[kNumCycleCauses] = {};
+
+    std::uint64_t
+    cycleCauseCount(CycleCause cause) const
+    {
+        return causeCycles[int(cause)];
+    }
+    /** Productive cycles: Busy plus IssueWidthBound. */
+    std::uint64_t
+    busyCycles() const
+    {
+        return causeCycles[int(CycleCause::Busy)] +
+               causeCycles[int(CycleCause::IssueWidthBound)];
+    }
+
+    /**
+     * End-of-cycle structure-occupancy histograms (one sample per
+     * cycle when CoreConfig::collectOccupancyHistograms is set):
+     * dispatch-queue residents (all queues), in-flight window size,
+     * and store-queue depth.
+     */
+    Histogram dqDepth;
+    Histogram windowDepth;
+    Histogram storeQueueDepth;
 
     /**
      * Per-cycle live-register histograms, nested cumulative sums per
@@ -152,12 +226,24 @@ class Processor
     double loadMissRate() const;
 
     /**
-     * Stream a one-line-per-instruction pipeline trace: sequence
+     * Stream a one-record-per-instruction pipeline trace: sequence
      * number, PC, disassembly, and the insert/issue/complete cycles,
      * ending in the commit cycle or the squash point.  Pass nullptr
-     * to stop tracing.  The stream must outlive the processor.
+     * to stop tracing (tracing costs nothing while detached — the
+     * stages check a single pointer).  The stream must outlive the
+     * processor.
+     *
+     * TraceFormat::Text is the legacy one-line human format
+     * (`seq=.. pc=.. 'disasm' I@ X@ C@ R@`); TraceFormat::Jsonl emits
+     * one JSON object per line (machine-readable, keys documented in
+     * docs/RESULTS_SCHEMA.md under "Event trace").
      */
-    void setTrace(std::ostream *os) { trace_ = os; }
+    void
+    setTrace(std::ostream *os, TraceFormat format = TraceFormat::Text)
+    {
+        trace_ = os;
+        traceFormat_ = format;
+    }
 
   private:
     Processor(const CoreConfig &config, const Program *external,
@@ -167,6 +253,26 @@ class Processor
     {
         InstUid uid;
         InstSeqNum seq;
+    };
+
+    /**
+     * What the stages observed this cycle, reset every tick().  The
+     * flags may overlap (commit can block on the write buffer in the
+     * same cycle insert blocks on a full queue); classifyCycle()
+     * reduces them to the single exclusive CycleCause.
+     */
+    struct CycleObs
+    {
+        bool issued = false;
+        bool committed = false;
+        bool writeBufferFull = false;
+        bool memPortSaturated = false;
+        bool dividerBusy = false;
+        bool issueWidthBound = false;
+        bool dqFull[3] = {false, false, false}; ///< int/fp/mem queue
+        bool noFreeReg[kNumRegClasses] = {};
+        bool icacheStall = false;
+        bool fetchBlocked = false;
     };
 
     struct PendingKiller
@@ -203,8 +309,13 @@ class Processor
     /// @}
 
     bool tryIssue(DynInst &in, struct IssueBudget &budget);
+    /** Reduce this cycle's observations to one CycleCause bucket. */
+    void classifyCycle();
     /** The queue an instruction dispatches into, and its capacity. */
     std::deque<InstSeqNum> &queueFor(const Instruction &si);
+    /** CycleObs::dqFull index of the queue @p si dispatches into
+     *  (0 for the unified queue). */
+    int queueIndexFor(const Instruction &si) const;
     int queueCapacity(const Instruction &si) const;
     /** Emit one pipeline-trace line for a retiring/squashed inst. */
     void traceLine(const DynInst &in, bool squashed);
@@ -281,7 +392,9 @@ class Processor
 
     StopReason stopReason_ = StopReason::Running;
     Cycle lastCommitCycle_ = 0;
+    CycleObs obs_;
     std::ostream *trace_ = nullptr;
+    TraceFormat traceFormat_ = TraceFormat::Text;
 };
 
 } // namespace drsim

@@ -1,10 +1,12 @@
 #include "sim/runner.hh"
 
+#include <cerrno>
 #include <charconv>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 
@@ -17,10 +19,22 @@ resolveJobs(int requested)
         return requested;
     if (const char *env = std::getenv("DRSIM_JOBS")) {
         char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v >= 1)
+        errno = 0;
+        const long long v = std::strtoll(env, &end, 10);
+        if (end == env || *end != '\0' || v < 0) {
+            warn("ignoring invalid DRSIM_JOBS='", env, "'");
+        } else if (errno == ERANGE || v > kMaxJobs) {
+            // strtoll saturates on overflow; either way the request
+            // is beyond any sane pool size, so clamp loudly instead
+            // of silently truncating through int().
+            warn("DRSIM_JOBS='", env, "' out of range; clamping to ",
+                 kMaxJobs);
+            return kMaxJobs;
+        } else if (v == 0) {
+            return ThreadPool::hardwareJobs(); // explicit auto-detect
+        } else {
             return int(v);
-        warn("ignoring invalid DRSIM_JOBS='", env, "'");
+        }
     }
     return ThreadPool::hardwareJobs();
 }
@@ -85,24 +99,7 @@ class JsonOut
     void
     string(const std::string &s)
     {
-        os_ << '"';
-        for (const char c : s) {
-            switch (c) {
-              case '"': os_ << "\\\""; break;
-              case '\\': os_ << "\\\\"; break;
-              case '\n': os_ << "\\n"; break;
-              case '\t': os_ << "\\t"; break;
-              default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                    os_ << buf;
-                } else {
-                    os_ << c;
-                }
-            }
-        }
-        os_ << '"';
+        os_ << '"' << json::escape(s) << '"';
     }
 
     void
@@ -118,6 +115,19 @@ class JsonOut
     void number(std::uint64_t v) { os_ << v; }
     void number(int v) { os_ << v; }
     void boolean(bool v) { os_ << (v ? "true" : "false"); }
+    void null() { os_ << "null"; }
+
+    /** A ratio whose denominator may be zero: null when undefined,
+     *  so downstream tooling cannot mistake "no samples" for 0.0. */
+    void
+    ratio(double v, bool defined)
+    {
+        if (defined)
+            number(v);
+        else
+            null();
+    }
+
     void raw(const char *s) { os_ << s; }
 
     /** "key": prefix at the current indent. */
@@ -147,12 +157,24 @@ stopReasonName(StopReason r)
       case StopReason::Halted: return "halted";
       case StopReason::InstLimit: return "inst-limit";
     }
-    return "unknown";
+    DRSIM_PANIC("invalid StopReason ", int(r));
+}
+
+/** {"mean": .., "p90": .., "max": ..} for one occupancy histogram. */
+void
+emitOccupancy(JsonOut &j, const Histogram &h, int in)
+{
+    j.raw("{\n");
+    j.key(in + 2, "mean"); j.number(h.mean()); j.raw(",\n");
+    j.key(in + 2, "p90"); j.number(h.percentile(0.90)); j.raw(",\n");
+    j.key(in + 2, "max"); j.number(h.maxValue()); j.raw("\n");
+    j.pad(in); j.raw("}");
 }
 
 void
 emitWorkload(JsonOut &j, const SimResult &r, int in)
 {
+    const bool ran = r.proc.cycles > 0;
     j.pad(in); j.raw("{\n");
     j.key(in + 2, "name"); j.string(r.workload); j.raw(",\n");
     j.key(in + 2, "fp_intensive"); j.boolean(r.fpIntensive);
@@ -168,13 +190,47 @@ emitWorkload(JsonOut &j, const SimResult &r, int in)
     j.raw(",\n");
     j.key(in + 2, "executed_cond_branches");
     j.number(r.proc.executedCondBranches); j.raw(",\n");
-    j.key(in + 2, "issue_ipc"); j.number(r.issueIpc()); j.raw(",\n");
-    j.key(in + 2, "commit_ipc"); j.number(r.commitIpc()); j.raw(",\n");
-    j.key(in + 2, "load_miss_rate"); j.number(r.loadMissRate);
+    j.key(in + 2, "issue_ipc"); j.ratio(r.issueIpc(), ran);
     j.raw(",\n");
-    j.key(in + 2, "mispredict_rate"); j.number(r.mispredictRate());
+    j.key(in + 2, "commit_ipc"); j.ratio(r.commitIpc(), ran);
     j.raw(",\n");
-    j.key(in + 2, "no_free_reg_pct"); j.number(r.noFreeRegPct());
+    j.key(in + 2, "load_miss_rate");
+    j.ratio(r.loadMissRate, r.proc.executedLoads > 0); j.raw(",\n");
+    j.key(in + 2, "mispredict_rate");
+    j.ratio(r.mispredictRate(), r.proc.executedCondBranches > 0);
+    j.raw(",\n");
+    j.key(in + 2, "no_free_reg_pct"); j.ratio(r.noFreeRegPct(), ran);
+    j.raw(",\n");
+
+    // Exclusive per-cycle attribution (schema v2): busy_cycles +
+    // issue_width_bound_cycles + sum(stall_cycles.*) == cycles.
+    j.key(in + 2, "busy_cycles");
+    j.number(r.proc.cycleCauseCount(CycleCause::Busy)); j.raw(",\n");
+    j.key(in + 2, "issue_width_bound_cycles");
+    j.number(r.proc.cycleCauseCount(CycleCause::IssueWidthBound));
+    j.raw(",\n");
+    j.key(in + 2, "stall_cycles"); j.raw("{\n");
+    for (int c = int(CycleCause::WriteBufferFull);
+         c < kNumCycleCauses; ++c) {
+        j.key(in + 4, cycleCauseName(CycleCause(c)));
+        j.number(r.proc.causeCycles[c]);
+        j.raw(c + 1 < kNumCycleCauses ? ",\n" : "\n");
+    }
+    j.pad(in + 2); j.raw("}");
+
+    // Structure-occupancy summaries; present only when the run sampled
+    // them (collectOccupancyHistograms).
+    if (r.proc.dqDepth.totalSamples() > 0) {
+        j.raw(",\n");
+        j.key(in + 2, "occupancy"); j.raw("{\n");
+        j.key(in + 4, "dispatch_queue");
+        emitOccupancy(j, r.proc.dqDepth, in + 4); j.raw(",\n");
+        j.key(in + 4, "window");
+        emitOccupancy(j, r.proc.windowDepth, in + 4); j.raw(",\n");
+        j.key(in + 4, "store_queue");
+        emitOccupancy(j, r.proc.storeQueueDepth, in + 4); j.raw("\n");
+        j.pad(in + 2); j.raw("}");
+    }
     j.raw("\n");
     j.pad(in); j.raw("}");
 }
@@ -242,7 +298,9 @@ emitExperiment(JsonOut &j, const ExperimentResult &res, int in)
     j.key(in + 4, "avg_commit_ipc"); j.number(res.suite.avgCommitIpc());
     j.raw(",\n");
     j.key(in + 4, "avg_no_free_reg_pct");
-    j.number(res.suite.avgNoFreeRegPct());
+    j.number(res.suite.avgNoFreeRegPct()); j.raw(",\n");
+    j.key(in + 4, "avg_stall_pct");
+    j.number(res.suite.avgStallPct());
     if (any_live) {
         j.raw(",\n");
         j.key(in + 4, "live_p90"); j.raw("{\n");
@@ -273,7 +331,7 @@ resultsJson(const RunInfo &info,
     JsonOut j(os);
 
     j.raw("{\n");
-    j.key(2, "schema_version"); j.number(1); j.raw(",\n");
+    j.key(2, "schema_version"); j.number(2); j.raw(",\n");
     j.key(2, "run_id"); j.string(info.runId); j.raw(",\n");
 
     j.key(2, "suite"); j.raw("{\n");

@@ -33,10 +33,17 @@
 
 namespace drsim {
 
+/** Upper bound on a resolved job count; larger DRSIM_JOBS values are
+ *  clamped (with a warning) rather than silently truncated. */
+constexpr int kMaxJobs = 1024;
+
 /**
  * Resolve an effective job count.  @p requested > 0 is used as-is;
  * @p requested <= 0 falls back to DRSIM_JOBS (when set and valid),
- * then to the hardware concurrency.  Always returns >= 1.
+ * then to the hardware concurrency.  DRSIM_JOBS=0 is an explicit
+ * auto-detect (hardware concurrency); values above kMaxJobs clamp to
+ * it with a warning; garbage is warned about and ignored.  Always
+ * returns >= 1.
  */
 int resolveJobs(int requested = 0);
 
@@ -88,8 +95,9 @@ struct RunInfo
 
 /**
  * Serialize an experiment batch to the schema in
- * docs/RESULTS_SCHEMA.md (schema_version 1).  Deterministic: equal
+ * docs/RESULTS_SCHEMA.md (schema_version 2).  Deterministic: equal
  * inputs yield byte-equal strings, independent of the job count.
+ * Zero-denominator ratios are emitted as JSON null, never 0.
  */
 std::string resultsJson(const RunInfo &info,
                         const std::vector<ExperimentResult> &results);

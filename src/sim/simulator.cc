@@ -77,6 +77,24 @@ SuiteResult::avgNoFreeRegPct() const
     return sum / double(runs_.size());
 }
 
+double
+SuiteResult::avgCausePct(CycleCause cause) const
+{
+    double sum = 0.0;
+    for (const auto &r : runs_)
+        sum += r.causePct(cause);
+    return sum / double(runs_.size());
+}
+
+double
+SuiteResult::avgStallPct() const
+{
+    double sum = 0.0;
+    for (const auto &r : runs_)
+        sum += r.stallPct();
+    return sum / double(runs_.size());
+}
+
 std::vector<double>
 SuiteResult::avgDensity(RegClass cls, LiveLevel level) const
 {

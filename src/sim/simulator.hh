@@ -47,6 +47,27 @@ struct SimResult
                          double(proc.cycles)
                    : 0.0;
     }
+
+    /** Percent of cycles attributed to @p cause (exclusive taxonomy). */
+    double
+    causePct(CycleCause cause) const
+    {
+        return proc.cycles
+                   ? 100.0 * double(proc.cycleCauseCount(cause)) /
+                         double(proc.cycles)
+                   : 0.0;
+    }
+
+    /** Percent of cycles that were non-productive (any stall cause). */
+    double
+    stallPct() const
+    {
+        return proc.cycles
+                   ? 100.0 *
+                         double(proc.cycles - proc.busyCycles()) /
+                         double(proc.cycles)
+                   : 0.0;
+    }
 };
 
 /** Simulate one workload under @p config. */
@@ -77,6 +98,10 @@ class SuiteResult
     double avgIssueIpc() const;
     double avgCommitIpc() const;
     double avgNoFreeRegPct() const;
+    /** Mean percent of cycles attributed to @p cause. */
+    double avgCausePct(CycleCause cause) const;
+    /** Mean percent of non-productive cycles. */
+    double avgStallPct() const;
 
     /**
      * Cross-benchmark average of run-time-normalized live-register

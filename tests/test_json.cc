@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the strict JSON parser and escaper (common/json.hh).
+ *
+ * The parser guards the results pipeline: stall_report and the
+ * exporter round-trip tests consume artifacts through it, so it has
+ * to accept exactly RFC 8259 — anything looser would let an emitter
+ * bug ship silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace drsim {
+namespace {
+
+using json::Value;
+
+// ------------------------------------------------------------- accepts
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(json::parse("null").isNull());
+    EXPECT_EQ(json::parse("true").asBool(), true);
+    EXPECT_EQ(json::parse("false").asBool(), false);
+    EXPECT_DOUBLE_EQ(json::parse("3.25").asNumber(), 3.25);
+    EXPECT_DOUBLE_EQ(json::parse("-0.5e2").asNumber(), -50.0);
+    EXPECT_EQ(json::parse("18446744073709551615").asNumber(),
+              18446744073709551615.0);
+    EXPECT_EQ(json::parse("\"hi\"").asString(), "hi");
+    EXPECT_EQ(json::parse("  42  ").asU64(), 42u);
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    const Value v = json::parse(
+        R"({"a": [1, 2, {"b": null}], "c": {"d": "e"}})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.members().size(), 2u);
+    const Value &a = v.at("a");
+    ASSERT_TRUE(a.isArray());
+    EXPECT_EQ(a.items().size(), 3u);
+    EXPECT_EQ(a.at(std::size_t(0)).asU64(), 1u);
+    EXPECT_TRUE(a.at(std::size_t(2)).at("b").isNull());
+    EXPECT_EQ(v.at("c").at("d").asString(), "e");
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, PreservesMemberOrder)
+{
+    const Value v = json::parse(R"({"z": 1, "a": 2, "m": 3})");
+    ASSERT_EQ(v.members().size(), 3u);
+    EXPECT_EQ(v.members()[0].first, "z");
+    EXPECT_EQ(v.members()[1].first, "a");
+    EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(Json, DecodesEscapesAndSurrogatePairs)
+{
+    EXPECT_EQ(json::parse(R"("a\"b\\c\/d\n\t\r\b\f")").asString(),
+              "a\"b\\c/d\n\t\r\b\f");
+    EXPECT_EQ(json::parse(R"("\u0041\u00e9")").asString(),
+              "A\xc3\xa9");
+    // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+    EXPECT_EQ(json::parse(R"("\ud83d\ude00")").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+// ------------------------------------------------------------- rejects
+
+void
+expectRejected(const std::string &text)
+{
+    EXPECT_THROW(json::parse(text), FatalError) << text;
+}
+
+TEST(Json, RejectsNonJson)
+{
+    expectRejected("");
+    expectRejected("nul");
+    expectRejected("truefalse");
+    expectRejected("{\"a\": 1,}");     // trailing comma
+    expectRejected("[1 2]");           // missing comma
+    expectRejected("{'a': 1}");        // single quotes
+    expectRejected("{\"a\" 1}");       // missing colon
+    expectRejected("[1, 2] trailing"); // content after the document
+    expectRejected("{\"a\": 01}");     // leading zero
+    expectRejected("[+1]");            // leading plus
+    expectRejected("[1.]");            // bare fraction
+    expectRejected("\"unterminated");
+    expectRejected("\"ctl \x01 char\""); // raw control character
+    expectRejected("\"\\q\"");           // unknown escape
+    expectRejected("\"\\u12\"");         // short unicode escape
+    expectRejected("\"\\ud83d\"");       // lone high surrogate
+    expectRejected("[");
+}
+
+TEST(Json, AccessorsCheckKinds)
+{
+    const Value v = json::parse("[1, \"s\"]");
+    EXPECT_THROW(v.asNumber(), FatalError);
+    EXPECT_THROW(v.at("key"), FatalError);       // not an object
+    EXPECT_THROW(v.at(std::size_t(2)), FatalError); // out of range
+    EXPECT_THROW(v.at(std::size_t(1)).asU64(), FatalError);
+    EXPECT_THROW(json::parse("-3").asU64(), FatalError);
+    EXPECT_THROW(json::parse("1.5").asU64(), FatalError);
+    const Value obj = json::parse(R"({"a": 1})");
+    EXPECT_THROW(obj.at("b"), FatalError); // absent member
+}
+
+TEST(Json, ErrorsCarryLocation)
+{
+    try {
+        json::parse("{\n  \"a\": nope\n}");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// -------------------------------------------------------------- escape
+
+TEST(Json, EscapeRoundTripsThroughParse)
+{
+    const std::string hostile =
+        "plain \"quoted\" back\\slash\nnl\ttab\rcr\bbs\fff "
+        "\x01\x1f high\xc3\xa9";
+    const std::string doc = "\"" + json::escape(hostile) + "\"";
+    EXPECT_EQ(json::parse(doc).asString(), hostile);
+}
+
+TEST(Json, EscapeLeavesPlainTextAlone)
+{
+    EXPECT_EQ(json::escape("abc 123 ~"), "abc 123 ~");
+    EXPECT_EQ(json::escape("q\"q"), "q\\\"q");
+    EXPECT_EQ(json::escape(std::string(1, '\x02')), "\\u0002");
+}
+
+} // namespace
+} // namespace drsim

@@ -16,9 +16,11 @@
 #include <set>
 #include <stdexcept>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "sim/runner.hh"
+#include "workloads/builder.hh"
 
 namespace drsim {
 namespace {
@@ -155,8 +157,36 @@ TEST(ResolveJobs, FallsBackToHardwareOnUnsetOrInvalid)
         EXPECT_EQ(resolveJobs(0), ThreadPool::hardwareJobs());
     }
     {
-        JobsEnvGuard guard("0");
+        JobsEnvGuard guard("-3");
         EXPECT_EQ(resolveJobs(0), ThreadPool::hardwareJobs());
+    }
+    {
+        JobsEnvGuard guard("7seven");
+        EXPECT_EQ(resolveJobs(0), ThreadPool::hardwareJobs());
+    }
+}
+
+TEST(ResolveJobs, ZeroMeansExplicitAutoDetect)
+{
+    JobsEnvGuard guard("0");
+    EXPECT_EQ(resolveJobs(0), ThreadPool::hardwareJobs());
+}
+
+TEST(ResolveJobs, ClampsOutOfRangeValues)
+{
+    {
+        JobsEnvGuard guard("2000"); // over kMaxJobs but fits an int
+        EXPECT_EQ(resolveJobs(0), kMaxJobs);
+    }
+    {
+        // Would overflow int (and long long, saturating via ERANGE);
+        // previously this silently truncated through int().
+        JobsEnvGuard guard("99999999999999999999999");
+        EXPECT_EQ(resolveJobs(0), kMaxJobs);
+    }
+    {
+        JobsEnvGuard guard("1024"); // exactly kMaxJobs is accepted
+        EXPECT_EQ(resolveJobs(0), 1024);
     }
 }
 
@@ -314,13 +344,122 @@ TEST(Runner, ResultsJsonCarriesSchemaFields)
     const std::string json =
         resultsJson(info, runExperiments(specs, suite, 2));
     for (const char *needle :
-         {"\"schema_version\": 1", "\"run_id\": \"schema-check\"",
+         {"\"schema_version\": 2", "\"run_id\": \"schema-check\"",
           "\"suite\"", "\"experiments\"", "\"config\"",
           "\"issue_width\"", "\"exception_model\"", "\"cache_kind\"",
           "\"workloads\"", "\"commit_ipc\"", "\"summary\"",
-          "\"avg_commit_ipc\"", "\"live_p90\"", "\"compress\""})
+          "\"avg_commit_ipc\"", "\"avg_stall_pct\"", "\"live_p90\"",
+          "\"busy_cycles\"", "\"issue_width_bound_cycles\"",
+          "\"stall_cycles\"", "\"operand_wait\"", "\"occupancy\"",
+          "\"dispatch_queue\"", "\"store_queue\"", "\"compress\""})
         EXPECT_NE(json.find(needle), std::string::npos)
             << "missing " << needle;
+}
+
+/**
+ * The exporter's output must survive the strict in-repo parser, and
+ * the parsed document must uphold the attribution invariant: for every
+ * workload, busy + issue_width_bound + sum(stall_cycles.*) == cycles.
+ */
+TEST(Runner, ResultsJsonRoundTripsThroughStrictParser)
+{
+    const auto suite = buildSpec92Suite(1);
+    std::vector<ExperimentSpec> specs;
+    specs.push_back({"base", smallConfig()});
+    CoreConfig tight = smallConfig();
+    tight.numPhysRegs = 40;
+    specs.push_back({"tight", tight});
+    RunInfo info;
+    info.runId = "roundtrip";
+    info.scale = 1;
+
+    const json::Value doc = json::parse(
+        resultsJson(info, runExperiments(specs, suite, 2)));
+    EXPECT_EQ(doc.at("schema_version").asU64(), 2u);
+    EXPECT_EQ(doc.at("run_id").asString(), "roundtrip");
+
+    const auto &experiments = doc.at("experiments").items();
+    ASSERT_EQ(experiments.size(), specs.size());
+    for (const auto &exp : experiments) {
+        for (const auto &wl : exp.at("workloads").items()) {
+            const std::uint64_t cycles = wl.at("cycles").asU64();
+            std::uint64_t attributed =
+                wl.at("busy_cycles").asU64() +
+                wl.at("issue_width_bound_cycles").asU64();
+            for (const auto &[name, v] :
+                 wl.at("stall_cycles").members())
+                attributed += v.asU64();
+            EXPECT_EQ(attributed, cycles)
+                << exp.at("name").asString() << "/"
+                << wl.at("name").asString();
+
+            // A run that executed loads/branches reports numbers.
+            if (wl.at("executed_loads").asU64() > 0) {
+                EXPECT_TRUE(wl.at("load_miss_rate").isNumber());
+            }
+            if (wl.at("executed_cond_branches").asU64() > 0) {
+                EXPECT_TRUE(wl.at("mispredict_rate").isNumber());
+            }
+
+            // Occupancy summaries ride along by default.
+            const json::Value &occ = wl.at("occupancy");
+            for (const char *s :
+                 {"dispatch_queue", "window", "store_queue"}) {
+                EXPECT_GE(occ.at(s).at("max").asNumber(),
+                          occ.at(s).at("p90").asNumber());
+            }
+        }
+    }
+}
+
+/**
+ * Zero-denominator ratios must be null, not 0: a workload with no
+ * loads and no conditional branches has no miss or mispredict rate.
+ */
+TEST(Runner, ZeroDenominatorRatiosEmitNull)
+{
+    ProgramBuilder b("noload");
+    const RegId r1 = intReg(1);
+    b.li(r1, 5);
+    b.addi(r1, r1, 1);
+    b.halt();
+    static const WorkloadSpec spec{"noload", "", false, nullptr};
+    std::vector<Workload> suite;
+    suite.push_back({&spec, b.build()});
+
+    std::vector<ExperimentSpec> specs;
+    specs.push_back({"base", smallConfig()});
+    RunInfo info;
+    info.runId = "null-check";
+    info.scale = 1;
+
+    const json::Value doc = json::parse(
+        resultsJson(info, runExperiments(specs, suite, 1)));
+    const json::Value &wl =
+        doc.at("experiments").at(std::size_t(0)).at("workloads")
+            .at(std::size_t(0));
+    EXPECT_EQ(wl.at("executed_loads").asU64(), 0u);
+    EXPECT_EQ(wl.at("executed_cond_branches").asU64(), 0u);
+    EXPECT_TRUE(wl.at("load_miss_rate").isNull());
+    EXPECT_TRUE(wl.at("mispredict_rate").isNull());
+    // The run did cycle, so the IPC ratios are real numbers.
+    EXPECT_TRUE(wl.at("issue_ipc").isNumber());
+    EXPECT_TRUE(wl.at("commit_ipc").isNumber());
+}
+
+/** Hostile characters in run_id must round-trip through escaping. */
+TEST(Runner, RunIdWithSpecialCharactersRoundTrips)
+{
+    const auto suite = buildSpec92Suite(1);
+    std::vector<ExperimentSpec> specs;
+    specs.push_back({"base", smallConfig()});
+    RunInfo info;
+    info.runId = "quote\"back\\slash\nnewline\ttab\x01ctl";
+    info.scale = 1;
+
+    const json::Value doc = json::parse(
+        resultsJson(info, runExperiments(specs, suite, 1)));
+    EXPECT_EQ(doc.at("run_id").asString(), info.runId);
 }
 
 TEST(Runner, WriteResultsFileRoundTripsAndRejectsBadPath)

@@ -48,6 +48,47 @@ TEST(Histogram, PercentileBoundaries)
     EXPECT_EQ(h.percentile(1.0), 100u);
 }
 
+/**
+ * percentile() must agree with densityPercentile() over the same
+ * distribution for every fraction: both accumulate the cumulative
+ * fraction with the same rounding epsilon.  The [9, 1] case at 0.9 is
+ * the historical regression: comparing a raw running count against
+ * fraction * total skidded to bucket 1 because 0.9 * 10 > 9 in
+ * floating point.
+ */
+TEST(Histogram, PercentileMatchesDensityPercentile)
+{
+    {
+        Histogram h;
+        for (int i = 0; i < 9; ++i)
+            h.addSample(0);
+        h.addSample(1);
+        EXPECT_EQ(h.percentile(0.9), 0u);
+        EXPECT_EQ(densityPercentile(h.normalized(), 0.9), 0u);
+    }
+
+    Histogram h;
+    Rng rng(13);
+    for (int i = 0; i < 5000; ++i)
+        h.addSample(rng.below(40));
+    const auto density = h.normalized();
+    for (const double f :
+         {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0})
+        EXPECT_EQ(h.percentile(f), densityPercentile(density, f))
+            << "fraction " << f;
+
+    // Exact bucket-boundary fractions, where the rounding of
+    // fraction * total is most likely to disagree between paths.
+    const auto &counts = h.counts();
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        cum += counts[i];
+        const double f = double(cum) / double(h.totalSamples());
+        EXPECT_EQ(h.percentile(f), densityPercentile(density, f))
+            << "boundary fraction " << f << " at bucket " << i;
+    }
+}
+
 TEST(Histogram, PercentileRejectsBadFraction)
 {
     Histogram h;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/json.hh"
 #include "common/random.hh"
 #include "core/processor.hh"
 #include "workloads/builder.hh"
@@ -131,6 +132,82 @@ TEST(PipeTrace, DisabledByDefaultAndDetachable)
     p2.run();
     // Only events from the traced window appear.
     EXPECT_LE(countLines(os.str()), 2u);
+}
+
+// --------------------------------------------------------------- JSONL
+
+/** Split a JSONL blob into parsed per-line documents. */
+std::vector<json::Value>
+parseJsonl(const std::string &blob)
+{
+    std::vector<json::Value> docs;
+    std::istringstream in(blob);
+    std::string line;
+    while (std::getline(in, line)) {
+        EXPECT_FALSE(line.empty());
+        docs.push_back(json::parse(line)); // strict: fatal on error
+    }
+    return docs;
+}
+
+TEST(PipeTrace, JsonlEveryLineParsesAndCarriesStages)
+{
+    ProgramBuilder b("jsonl");
+    b.li(intReg(1), 3);
+    const auto top = b.here();
+    b.subi(intReg(1), intReg(1), 1);
+    b.bne(intReg(1), top);
+    b.halt();
+
+    std::ostringstream os;
+    Processor proc(traceConfig(), b.build());
+    proc.setTrace(&os, TraceFormat::Jsonl);
+    proc.run();
+
+    const auto docs = parseJsonl(os.str());
+    ASSERT_GE(docs.size(), proc.stats().committed);
+    std::size_t retired = 0;
+    for (const auto &doc : docs) {
+        ASSERT_TRUE(doc.isObject());
+        EXPECT_TRUE(doc.at("op").isString());
+        const std::uint64_t insert = doc.at("insert").asU64();
+        const bool squashed = doc.find("squash") != nullptr;
+        EXPECT_NE(squashed, doc.find("retire") != nullptr);
+        if (squashed)
+            continue;
+        ++retired;
+        // A retired instruction went through every stage, in order.
+        const std::uint64_t issue = doc.at("issue").asU64();
+        const std::uint64_t complete = doc.at("complete").asU64();
+        const std::uint64_t retire = doc.at("retire").asU64();
+        EXPECT_GE(issue, insert);
+        EXPECT_GE(complete, issue);
+        EXPECT_GE(retire, complete);
+    }
+    EXPECT_EQ(retired, proc.stats().committed);
+}
+
+TEST(PipeTrace, JsonlMarksMissForwardAndMispredict)
+{
+    ProgramBuilder b("jsonl-events");
+    const Addr buf = b.allocWords(1);
+    b.li(intReg(1), std::int64_t(buf));
+    b.li(intReg(2), 5);
+    b.stq(intReg(2), intReg(1), 0);
+    b.ldq(intReg(3), intReg(1), 0); // forwarded from the store
+    b.halt();
+
+    std::ostringstream os;
+    Processor proc(traceConfig(), b.build());
+    proc.setTrace(&os, TraceFormat::Jsonl);
+    proc.run();
+
+    bool saw_forwarded = false;
+    for (const auto &doc : parseJsonl(os.str())) {
+        if (const json::Value *fwd = doc.find("forwarded"))
+            saw_forwarded = saw_forwarded || fwd->asBool();
+    }
+    EXPECT_TRUE(saw_forwarded);
 }
 
 TEST(PipeTrace, CyclesAreOrdered)
