@@ -14,6 +14,7 @@
 
 #include "common/random.hh"
 #include "core/processor.hh"
+#include "sim/simulator.hh"
 #include "workloads/builder.hh"
 #include "workloads/emulator.hh"
 
@@ -82,7 +83,10 @@ main()
     std::printf("built '%s': %zu static instructions\n",
                 prog.name().c_str(), prog.numInsts());
 
-    // 1. Functional check with the architectural emulator.
+    // 1. Static verification (same gate every harness runs).
+    verifyProgram(prog);
+
+    // 2. Functional check with the architectural emulator.
     Emulator emu(prog);
     while (!emu.fetchBlocked())
         emu.stepArch();
@@ -91,7 +95,7 @@ main()
                 (unsigned long long)emu.stepsExecuted(),
                 (unsigned long long)emu.intRegBits(8));
 
-    // 2. Timing simulation under both exception models.
+    // 3. Timing simulation under both exception models.
     for (const auto model :
          {ExceptionModel::Precise, ExceptionModel::Imprecise}) {
         CoreConfig cfg;

@@ -19,6 +19,7 @@
 
 #include "common/random.hh"
 #include "core/processor.hh"
+#include "sim/simulator.hh"
 #include "workloads/builder.hh"
 
 int
@@ -35,6 +36,7 @@ main(int argc, char **argv)
         b.initWord(tab + Addr(i) * 8, rng.next());
     b.li(intReg(1), std::int64_t(tab));
     b.li(intReg(2), 40);
+    b.li(intReg(6), 0);
     const auto top = b.here();
     const auto skip = b.newLabel();
     b.slli(intReg(3), intReg(2), 10);
@@ -58,7 +60,9 @@ main(int argc, char **argv)
     cfg.perfectICache = true;
 
     std::ostringstream trace;
-    Processor proc(cfg, b.build());
+    const Program prog = b.build();
+    verifyProgram(prog);
+    Processor proc(cfg, prog);
     proc.setTrace(&trace);
     proc.run();
 

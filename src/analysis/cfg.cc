@@ -1,0 +1,300 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+
+namespace drsim {
+namespace analysis {
+
+namespace {
+
+/** Last instruction of a non-empty block decides its successors. */
+const Instruction &
+terminator(const BasicBlock &bb)
+{
+    return bb.insts.back();
+}
+
+Finding
+structuralFinding(const char *rule, const Program &prog, int block,
+                  int offset, std::string message)
+{
+    Finding f;
+    f.rule = rule;
+    f.severity = Severity::Error;
+    f.block = block;
+    f.offset = offset;
+    if (block >= 0 && offset >= 0)
+        f.pc = prog.pcOf({block, offset});
+    f.message = std::move(message);
+    return f;
+}
+
+} // namespace
+
+ProgramCfg::ProgramCfg(const Program &program) : prog_(program)
+{
+    const auto &blocks = prog_.blocks();
+    nodes_.resize(blocks.size());
+
+    const CodeLoc entry_loc =
+        blocks.empty() ? CodeLoc{}
+                       : prog_.blockEntryResolved(prog_.entry().block);
+    if (!entry_loc.valid()) {
+        structural_.push_back(structuralFinding(
+            rules::kEmptyProgram, prog_, -1, -1,
+            "program contains no instructions"));
+        return;
+    }
+    entry_ = entry_loc.block;
+    valid_ = true;
+
+    // Layout fallthroughs (next non-empty block).
+    int next_nonempty = -1;
+    for (int b = int(blocks.size()) - 1; b >= 0; --b) {
+        nodes_[std::size_t(b)].fallthrough = next_nonempty;
+        if (!blocks[std::size_t(b)].insts.empty())
+            next_nonempty = b;
+    }
+
+    // Pass 1: collect call-return points (the block a Ret returns to
+    // is the fallthrough of some Jsr).
+    std::vector<int> ret_targets;
+    for (int b = 0; b < int(blocks.size()); ++b) {
+        const auto &bb = blocks[std::size_t(b)];
+        if (bb.insts.empty())
+            continue;
+        if (terminator(bb).op == Opcode::Jsr) {
+            const int ft = nodes_[std::size_t(b)].fallthrough;
+            if (ft >= 0)
+                ret_targets.push_back(ft);
+        }
+    }
+
+    // Pass 2: edges + structural checks.
+    bool any_ret_exit = false;
+    for (int b = 0; b < int(blocks.size()); ++b) {
+        const auto &bb = blocks[std::size_t(b)];
+        if (bb.insts.empty())
+            continue;
+        const Instruction &last = terminator(bb);
+        const int last_off = int(bb.insts.size()) - 1;
+        const int ft = nodes_[std::size_t(b)].fallthrough;
+
+        const auto resolveTarget = [&]() -> int {
+            const CodeLoc t = prog_.blockEntryResolved(last.target);
+            if (!t.valid()) {
+                structural_.push_back(structuralFinding(
+                    rules::kInvalidTarget, prog_, b, last_off,
+                    "branch target (block " +
+                        std::to_string(last.target) +
+                        ") is out of range or contains no "
+                        "instructions"));
+                return -1;
+            }
+            return t.block;
+        };
+        const auto fallthroughEdge = [&](const char *what) {
+            if (ft >= 0) {
+                addEdge(b, ft);
+            } else {
+                structural_.push_back(structuralFinding(
+                    rules::kFallOffEnd, prog_, b, last_off,
+                    std::string(what) +
+                        " falls off the end of the code segment"));
+            }
+        };
+
+        switch (last.op) {
+          case Opcode::Halt:
+            break;
+          case Opcode::Br:
+          case Opcode::Jsr: {
+            const int t = resolveTarget();
+            if (t >= 0)
+                addEdge(b, t);
+            if (last.op == Opcode::Jsr && ft < 0) {
+                structural_.push_back(structuralFinding(
+                    rules::kFallOffEnd, prog_, b, last_off,
+                    "call has no instruction to return to"));
+            }
+            break;
+          }
+          case Opcode::Ret:
+            if (ret_targets.empty()) {
+                any_ret_exit = true; // unknown target: exit-like
+            } else {
+                for (const int t : ret_targets)
+                    addEdge(b, t);
+            }
+            break;
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Fbeq:
+          case Opcode::Fbne: {
+            const int t = resolveTarget();
+            if (t >= 0)
+                addEdge(b, t);
+            fallthroughEdge("not-taken path of conditional branch");
+            break;
+          }
+          default:
+            fallthroughEdge("straight-line block");
+            break;
+        }
+    }
+    (void)any_ret_exit;
+
+    computeReachability();
+    computeLoopDepths();
+}
+
+void
+ProgramCfg::addEdge(int from, int to)
+{
+    auto &succs = nodes_[std::size_t(from)].succs;
+    if (std::find(succs.begin(), succs.end(), to) != succs.end())
+        return; // dedupe (e.g. cond branch whose target == fallthrough)
+    succs.push_back(to);
+    nodes_[std::size_t(to)].preds.push_back(from);
+}
+
+void
+ProgramCfg::computeReachability()
+{
+    // Forward reachability from the entry + reverse postorder.
+    std::vector<int> stack = {entry_};
+    std::vector<std::uint8_t> state(nodes_.size(), 0); // 0/1/2
+    rpo_.clear();
+    // Iterative DFS producing a postorder.
+    while (!stack.empty()) {
+        const int b = stack.back();
+        if (state[std::size_t(b)] == 0) {
+            state[std::size_t(b)] = 1;
+            nodes_[std::size_t(b)].reachable = true;
+            for (const int s : nodes_[std::size_t(b)].succs)
+                if (state[std::size_t(s)] == 0)
+                    stack.push_back(s);
+        } else {
+            stack.pop_back();
+            if (state[std::size_t(b)] == 1) {
+                state[std::size_t(b)] = 2;
+                rpo_.push_back(b);
+            }
+        }
+    }
+    std::reverse(rpo_.begin(), rpo_.end());
+
+    // Backward reachability from exit nodes: a block "can exit" when
+    // some path from it reaches Halt (or an exit-like Ret).
+    std::vector<int> worklist;
+    const auto &blocks = prog_.blocks();
+    bool have_call_sites = false;
+    for (const auto &bb : blocks)
+        if (!bb.insts.empty() && terminator(bb).op == Opcode::Jsr)
+            have_call_sites = true;
+    for (int b = 0; b < int(blocks.size()); ++b) {
+        const auto &bb = blocks[std::size_t(b)];
+        if (bb.insts.empty())
+            continue;
+        const Opcode op = terminator(bb).op;
+        const bool exit_like =
+            op == Opcode::Halt ||
+            (op == Opcode::Ret && !have_call_sites);
+        if (exit_like) {
+            nodes_[std::size_t(b)].canExit = true;
+            worklist.push_back(b);
+        }
+    }
+    while (!worklist.empty()) {
+        const int b = worklist.back();
+        worklist.pop_back();
+        for (const int p : nodes_[std::size_t(b)].preds) {
+            if (!nodes_[std::size_t(p)].canExit) {
+                nodes_[std::size_t(p)].canExit = true;
+                worklist.push_back(p);
+            }
+        }
+    }
+}
+
+void
+ProgramCfg::computeLoopDepths()
+{
+    // Back edges via DFS (edge u->v with v on the DFS stack), then
+    // natural-loop bodies: for each header v, the union over back
+    // edges u->v of {v} + everything that reaches u without passing
+    // through v.  Nesting depth = number of distinct headers whose
+    // body contains the block.
+    const std::size_t n = nodes_.size();
+    std::vector<std::uint8_t> color(n, 0), on_stack(n, 0);
+    std::vector<std::pair<int, int>> back_edges; // (tail, header)
+
+    struct Frame { int block; std::size_t next; };
+    std::vector<Frame> stack;
+    if (entry_ < 0)
+        return;
+    stack.push_back({entry_, 0});
+    color[std::size_t(entry_)] = 1;
+    on_stack[std::size_t(entry_)] = 1;
+    while (!stack.empty()) {
+        Frame &f = stack.back();
+        const auto &succs = nodes_[std::size_t(f.block)].succs;
+        if (f.next < succs.size()) {
+            const int s = succs[f.next++];
+            if (color[std::size_t(s)] == 0) {
+                color[std::size_t(s)] = 1;
+                on_stack[std::size_t(s)] = 1;
+                stack.push_back({s, 0});
+            } else if (on_stack[std::size_t(s)]) {
+                back_edges.emplace_back(f.block, s);
+            }
+        } else {
+            on_stack[std::size_t(f.block)] = 0;
+            color[std::size_t(f.block)] = 2;
+            stack.pop_back();
+        }
+    }
+
+    // Group back edges by header and collect each header's body.
+    std::vector<std::vector<std::uint8_t>> bodies; // per distinct header
+    std::vector<int> headers;
+    for (const auto &[tail, header] : back_edges) {
+        std::size_t idx = 0;
+        for (; idx < headers.size(); ++idx)
+            if (headers[idx] == header)
+                break;
+        if (idx == headers.size()) {
+            headers.push_back(header);
+            bodies.emplace_back(n, std::uint8_t{0});
+            bodies.back()[std::size_t(header)] = 1;
+        }
+        auto &body = bodies[idx];
+        // Reverse flood from the tail, stopping at the header.
+        std::vector<int> work;
+        if (!body[std::size_t(tail)]) {
+            body[std::size_t(tail)] = 1;
+            work.push_back(tail);
+        }
+        while (!work.empty()) {
+            const int b = work.back();
+            work.pop_back();
+            for (const int p : nodes_[std::size_t(b)].preds) {
+                if (!nodes_[std::size_t(p)].reachable)
+                    continue;
+                if (!body[std::size_t(p)]) {
+                    body[std::size_t(p)] = 1;
+                    work.push_back(p);
+                }
+            }
+        }
+    }
+    for (std::size_t b = 0; b < n; ++b) {
+        int depth = 0;
+        for (const auto &body : bodies)
+            depth += body[b] ? 1 : 0;
+        nodes_[b].loopDepth = depth;
+    }
+}
+
+} // namespace analysis
+} // namespace drsim

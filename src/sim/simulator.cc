@@ -1,8 +1,27 @@
 #include "sim/simulator.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace drsim {
+
+void
+verifyProgram(const Program &program, const analysis::Options &opts)
+{
+    const analysis::Report report =
+        analysis::analyzeProgram(program, opts);
+    if (!report.hasErrors())
+        return;
+    std::ostringstream os;
+    for (const analysis::Finding &f : report.findings) {
+        if (f.severity == analysis::Severity::Error)
+            os << "\n  " << analysis::formatFinding(f);
+    }
+    fatal("program '", program.name(),
+          "' failed static verification (", report.summary(),
+          "); refusing to simulate:", os.str());
+}
 
 namespace {
 
@@ -10,6 +29,7 @@ SimResult
 runOne(const CoreConfig &config, const Program &program,
        const std::string &name, bool fp_intensive)
 {
+    verifyProgram(program);
     Processor proc(config, program);
     proc.run();
 

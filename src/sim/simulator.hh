@@ -16,10 +16,28 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.hh"
 #include "core/processor.hh"
 #include "workloads/kernels.hh"
 
 namespace drsim {
+
+/**
+ * Fail-fast static verification gate run before every simulation.
+ *
+ * Analyzes @p program with src/analysis and throws FatalError (via
+ * fatal()) listing every error-severity finding when the program is
+ * statically broken — an uninitialized register read, a guaranteed
+ * infinite loop, an out-of-bounds data access, or a drifted
+ * instruction mix would otherwise surface only as a silently skewed
+ * IPC.  Warning-severity findings do not block simulation; run
+ * `drsim_lint` to see them.  simulate()/simulateProgram()/runSuite()
+ * call this on every entry, so harnesses inherit the gate; code that
+ * drives `Processor` directly (drsim_main, examples) must call it
+ * explicitly.
+ */
+void verifyProgram(const Program &program,
+                   const analysis::Options &opts = {});
 
 /** Everything measured in one (workload, configuration) run. */
 struct SimResult

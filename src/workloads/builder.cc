@@ -21,10 +21,14 @@ ProgramBuilder::newLabel()
 void
 ProgramBuilder::bind(Label label)
 {
-    if (label < 0 || label >= int(labelBlock_.size()))
-        DRSIM_PANIC("bind of unknown label ", label);
-    if (labelBlock_[label] != -1)
-        DRSIM_PANIC("label ", label, " bound twice");
+    if (label < 0 || label >= int(labelBlock_.size())) {
+        fatal("program '", prog_.name_, "': bind of unknown label ",
+              label, " (labels come from newLabel())");
+    }
+    if (labelBlock_[label] != -1) {
+        fatal("program '", prog_.name_, "': label ", label,
+              " bound twice");
+    }
     // The next emitted instruction starts a fresh block; bind the label
     // to that block now by opening it eagerly.  Consecutive binds with
     // no instruction in between share one block.
@@ -73,8 +77,10 @@ ProgramBuilder::current()
 void
 ProgramBuilder::emit(Instruction inst)
 {
-    if (built_)
-        DRSIM_PANIC("emit after build()");
+    if (built_) {
+        fatal("program '", prog_.name_,
+              "': emit after build(); the builder is single-use");
+    }
     current().insts.push_back(inst);
     if (inst.isControl() || inst.isHalt())
         lastWasControl_ = true;
@@ -240,22 +246,41 @@ ProgramBuilder::halt()
 Program
 ProgramBuilder::build()
 {
-    if (built_)
-        DRSIM_PANIC("build() called twice");
+    if (built_) {
+        fatal("program '", prog_.name_,
+              "': build() called twice; the builder is single-use");
+    }
     built_ = true;
     // Patch label ids into block indices.
     for (auto &bb : prog_.blocks_) {
         for (auto &inst : bb.insts) {
             if (inst.target < 0)
                 continue;
-            if (inst.target >= int(labelBlock_.size()))
-                DRSIM_PANIC("branch to unknown label ", inst.target);
+            if (inst.target >= int(labelBlock_.size())) {
+                fatal("program '", prog_.name_,
+                      "': branch to unknown label ", inst.target,
+                      " (only ", labelBlock_.size(),
+                      " labels were created)");
+            }
             const int block = labelBlock_[inst.target];
-            if (block < 0)
-                DRSIM_PANIC("branch to unbound label ", inst.target);
+            if (block < 0) {
+                fatal("program '", prog_.name_,
+                      "': branch to unbound label ", inst.target,
+                      " (newLabel() was never bind()-ed)");
+            }
             inst.target = block;
         }
     }
+    // Record the data-segment extent for static memory-bounds checks:
+    // the bump allocator's brk, widened over any directly initialized
+    // words outside it.
+    Addr limit = dataBrk_;
+    for (const auto &[addr, value] : prog_.initialWords_) {
+        (void)value;
+        if (addr + 8 > limit)
+            limit = addr + 8;
+    }
+    prog_.dataLimit_ = limit;
     prog_.finalize();
     return std::move(prog_);
 }

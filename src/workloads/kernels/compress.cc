@@ -26,7 +26,9 @@ makeCompress(int scale, std::uint64_t seed)
     constexpr int kTableWords = 32768;  // 256 KB code table
     constexpr int kWindowWords = 1024;  // 8 KB window (always hits)
     const Addr table = b.allocWords(kTableWords);
-    const Addr window = b.allocWords(kWindowWords);
+    // +3 guard words: the window loads read widx+0..+24, so the last
+    // index reaches three words past the window proper.
+    const Addr window = b.allocWords(kWindowWords + 3);
     kutil::initRandomWords(b, table, kTableWords, rng);
     kutil::initRandomWords(b, window, kWindowWords, rng);
 

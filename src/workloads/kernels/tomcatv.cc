@@ -83,7 +83,7 @@ makeTomcatv(int scale, std::uint64_t seed)
     // total rows, wrapping back to the mesh top every kRows-2 rows so
     // arbitrarily long runs keep sweeping.
     b.li(sweeps, scale);
-    b.li(jcnt, 0);
+    b.itof(rsum, intReg(kZeroReg));  // zero the recurrence accumulator
 
     const auto sweepTop = b.here();
     // (Re)start a sweep at row 1 (rows 0 and kRows-1 are boundaries).

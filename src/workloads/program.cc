@@ -7,8 +7,29 @@ namespace drsim {
 void
 Program::finalize()
 {
-    if (finalized_)
-        DRSIM_PANIC("program finalized twice");
+    if (finalized_) {
+        fatal("program '", name_, "': finalize() called twice; a "
+              "Program is laid out exactly once after construction");
+    }
+    // Reject branch targets outside the block table up front: a bad
+    // index would otherwise surface as an out-of-range access (or
+    // silent misfetch) mid-simulation.
+    for (const auto &bb : blocks_) {
+        const auto b = std::int32_t(&bb - blocks_.data());
+        for (std::int32_t i = 0; i < std::int32_t(bb.insts.size());
+             ++i) {
+            const Instruction &inst = bb.insts[std::size_t(i)];
+            if (!inst.isControl() || inst.op == Opcode::Ret)
+                continue;
+            if (inst.target < 0 ||
+                inst.target >= std::int32_t(blocks_.size())) {
+                fatal("program '", name_, "': block ", b, " inst ", i,
+                      " (", opTraits(inst.op).name,
+                      ") targets invalid block index ", inst.target,
+                      " (program has ", blocks_.size(), " blocks)");
+            }
+        }
+    }
     Addr pc = kCodeBase;
     numInsts_ = 0;
     for (auto &bb : blocks_) {
@@ -49,6 +70,8 @@ Program::instAt(CodeLoc loc) const
 CodeLoc
 Program::blockEntryResolved(int block) const
 {
+    if (block < 0)
+        return {};
     for (int b = block; b < int(blocks_.size()); ++b)
         if (!blocks_[b].insts.empty())
             return {b, 0};

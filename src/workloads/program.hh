@@ -101,6 +101,18 @@ class Program
         return initialWords_;
     }
 
+    /// @name Data-segment extent (for static memory-bounds checks)
+    /// @{
+    /** First byte of the program's data segment. */
+    Addr dataBase() const { return kDataBase; }
+    /**
+     * One past the last allocated/initialized data byte; equals
+     * dataBase() when the program declares no data.  Set by
+     * ProgramBuilder from its bump allocator and initialized words.
+     */
+    Addr dataLimit() const { return dataLimit_; }
+    /// @}
+
   private:
     friend class ProgramBuilder;
 
@@ -109,6 +121,7 @@ class Program
     int entryBlock_ = 0;
     std::size_t numInsts_ = 0;
     std::unordered_map<Addr, std::uint64_t> initialWords_;
+    Addr dataLimit_ = kDataBase;
     /** Flat pc -> CodeLoc table, indexed by (pc - kCodeBase) / 4. */
     std::vector<CodeLoc> pcTable_;
     bool finalized_ = false;

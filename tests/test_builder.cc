@@ -176,13 +176,72 @@ TEST(Builder, JsrAndRetShape)
     EXPECT_EQ(p.instAt(fn_loc).op, Opcode::Ret);
 }
 
-TEST(Builder, BranchToUnboundLabelDies)
+TEST(Builder, BranchToUnboundLabelThrows)
 {
     ProgramBuilder b("unbound");
     const auto l = b.newLabel();
     b.br(l);
     b.halt();
-    EXPECT_DEATH(b.build(), "unbound");
+    EXPECT_THROW(b.build(), FatalError);
+}
+
+TEST(Builder, BranchToUnknownLabelThrows)
+{
+    ProgramBuilder b("unknown-label");
+    b.br(99);
+    b.halt();
+    EXPECT_THROW(b.build(), FatalError);
+}
+
+TEST(Builder, BuildTwiceThrows)
+{
+    ProgramBuilder b("twice");
+    b.halt();
+    (void)b.build();
+    EXPECT_THROW(b.build(), FatalError);
+}
+
+TEST(Builder, EmitAfterBuildThrows)
+{
+    ProgramBuilder b("post-emit");
+    b.halt();
+    (void)b.build();
+    EXPECT_THROW(b.halt(), FatalError);
+}
+
+TEST(Builder, BindErrorsThrow)
+{
+    ProgramBuilder b("bad-bind");
+    EXPECT_THROW(b.bind(5), FatalError);
+    const auto l = b.newLabel();
+    b.bind(l);
+    EXPECT_THROW(b.bind(l), FatalError);
+}
+
+TEST(Builder, FinalizeTwiceThrows)
+{
+    ProgramBuilder b("refinalize");
+    b.halt();
+    Program p = b.build(); // build() already finalized the program
+    EXPECT_THROW(p.finalize(), FatalError);
+}
+
+TEST(Builder, DefaultProgramFinalizesOnceOnly)
+{
+    Program p;
+    EXPECT_NO_THROW(p.finalize()); // empty program lays out fine
+    EXPECT_THROW(p.finalize(), FatalError);
+}
+
+TEST(Builder, BuildRecordsDataSegmentExtent)
+{
+    ProgramBuilder b("extent");
+    const Addr base = b.allocWords(4);
+    b.initWord(base + 64, 7); // init beyond the brk widens the limit
+    b.halt();
+    const Program p = b.build();
+    EXPECT_EQ(p.dataBase(), kDataBase);
+    EXPECT_GE(p.dataLimit(), base + 64 + 8);
 }
 
 } // namespace

@@ -51,8 +51,8 @@ INSTANTIATE_TEST_SUITE_P(
                       QueensCase{6, 4}, QueensCase{7, 40},
                       QueensCase{8, 92}, QueensCase{9, 352},
                       QueensCase{10, 724}),
-    [](const ::testing::TestParamInfo<QueensCase> &info) {
-        return "n" + std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<QueensCase> &pinfo) {
+        return "n" + std::to_string(pinfo.param.n);
     });
 
 struct SieveCase
@@ -74,8 +74,8 @@ INSTANTIATE_TEST_SUITE_P(
     KnownCounts, Sieve,
     ::testing::Values(SieveCase{10, 4}, SieveCase{100, 25},
                       SieveCase{1000, 168}, SieveCase{4000, 550}),
-    [](const ::testing::TestParamInfo<SieveCase> &info) {
-        return "limit" + std::to_string(info.param.limit);
+    [](const ::testing::TestParamInfo<SieveCase> &pinfo) {
+        return "limit" + std::to_string(pinfo.param.limit);
     });
 
 TEST(WordCopy, NoMismatches)

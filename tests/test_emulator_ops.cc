@@ -104,8 +104,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Opcode::Or, Opcode::Xor, Opcode::Sll,
                       Opcode::Srl, Opcode::Cmplt, Opcode::Cmple,
                       Opcode::Cmpeq, Opcode::Mul),
-    [](const ::testing::TestParamInfo<Opcode> &info) {
-        return std::string(opTraits(info.param).name);
+    [](const ::testing::TestParamInfo<Opcode> &pinfo) {
+        return std::string(opTraits(pinfo.param).name);
     });
 
 double
@@ -182,8 +182,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllFpOps, FpOpSweep,
     ::testing::Values(Opcode::Fadd, Opcode::Fsub, Opcode::Fmul,
                       Opcode::Fdivd, Opcode::Fcmplt, Opcode::Fsqrt),
-    [](const ::testing::TestParamInfo<Opcode> &info) {
-        return std::string(opTraits(info.param).name);
+    [](const ::testing::TestParamInfo<Opcode> &pinfo) {
+        return std::string(opTraits(pinfo.param).name);
     });
 
 TEST(ImmediateForms, MatchRegisterForms)

@@ -82,8 +82,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ClassLimitCase{"fp", Opcode::Fadd, 2},
                       ClassLimitCase{"load", Opcode::Ldq, 2},
                       ClassLimitCase{"store", Opcode::Stq, 2}),
-    [](const ::testing::TestParamInfo<ClassLimitCase> &info) {
-        return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<ClassLimitCase> &pinfo) {
+        return std::string(pinfo.param.name);
     });
 
 TEST(ProcessorEdge, ControlFlowLimitOnePerCycleAt4Way)

@@ -29,6 +29,7 @@ tinyLoop(const std::string &name, int trips)
 {
     ProgramBuilder b(name);
     b.li(intReg(1), trips);
+    b.li(intReg(2), 0);
     const auto top = b.here();
     b.addi(intReg(2), intReg(2), 1);
     b.subi(intReg(1), intReg(1), 1);
@@ -44,7 +45,7 @@ TEST(Simulator, RunsProgramToHalt)
     const Program p = tinyLoop("t", 100);
     const SimResult res = simulateProgram(cfg, p);
     EXPECT_EQ(int(res.stopReason), int(StopReason::Halted));
-    EXPECT_EQ(res.proc.committed, 302u);
+    EXPECT_EQ(res.proc.committed, 303u);
     EXPECT_GT(res.commitIpc(), 0.0);
 }
 

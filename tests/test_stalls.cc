@@ -259,6 +259,7 @@ TEST(StallAttribution, MemPortSaturatedBucketFires)
 TEST(StallAttribution, ICacheStallBucketFires)
 {
     ProgramBuilder b("cold-code");
+    b.li(intReg(1), 0);
     for (int i = 0; i < 4000; ++i)
         b.addi(intReg(1), intReg(1), 1);
     b.halt();

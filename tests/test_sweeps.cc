@@ -182,8 +182,8 @@ TEST_P(MachineSweep, InvariantsHoldEverywhere)
 
 INSTANTIATE_TEST_SUITE_P(
     Grid, MachineSweep, ::testing::ValuesIn(sweepGrid()),
-    [](const ::testing::TestParamInfo<SweepPoint> &info) {
-        const SweepPoint &p = info.param;
+    [](const ::testing::TestParamInfo<SweepPoint> &pinfo) {
+        const SweepPoint &p = pinfo.param;
         std::string s = "w" + std::to_string(p.width) + "_dq" +
                         std::to_string(p.dq) + "_r" +
                         std::to_string(p.regs) + "_";

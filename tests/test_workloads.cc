@@ -133,8 +133,8 @@ TEST_P(KernelMix, ScaleGrowsDynamicLength)
 
 INSTANTIATE_TEST_SUITE_P(
     Spec92, KernelMix, ::testing::ValuesIn(kMix),
-    [](const ::testing::TestParamInfo<MixExpectation> &info) {
-        return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<MixExpectation> &pinfo) {
+        return std::string(pinfo.param.name);
     });
 
 TEST(KernelSuite, ProgramsAreModest)

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * drsim_lint — static verifier / linter front-end for guest programs.
+ *
+ * Runs every src/analysis pass over the selected workloads and prints
+ * the findings, one per line, in the compiler-diagnostic style:
+ *
+ *   drsim_lint                          # lint all nine suite kernels
+ *   drsim_lint --workload compress,gcc1 # a subset
+ *   drsim_lint --workload classic       # the classic mini-suite
+ *   drsim_lint --json > lint.json       # machine-readable output
+ *   drsim_lint --print-mix              # estimator-space mix table
+ *
+ * Exit status: 0 when no error-severity findings (warnings allowed;
+ * `--strict` promotes them), 1 when any selected program has an
+ * error-severity finding, 2 on usage errors.
+ *
+ * JSON schema (strict RFC-8259, round-trips through json::parse):
+ *   {"schema":"drsim-lint-v1","errors":N,"warnings":N,
+ *    "reports":[{"schema":"drsim-lint-v1","program":"compress",
+ *                "errors":N,"warnings":N,
+ *                "findings":[{"rule":"mem-oob-access",
+ *                             "severity":"error","block":3,
+ *                             "offset":2,"pc":4184,
+ *                             "message":"..."}]}]}
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hh"
+#include "common/logging.hh"
+#include "sim/options.hh"
+#include "workloads/classic.hh"
+#include "workloads/kernels.hh"
+
+namespace {
+
+using namespace drsim;
+
+struct Target
+{
+    std::string name;
+    Program program;
+};
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        const std::size_t comma = csv.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        if (end > pos)
+            out.push_back(csv.substr(pos, end - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+std::vector<Target>
+resolveTargets(const std::string &selector, int scale,
+               std::uint64_t seed)
+{
+    std::vector<Target> targets;
+    for (const std::string &name : splitList(selector)) {
+        if (name == "all") {
+            for (auto &w : buildSpec92Suite(scale, seed)) {
+                targets.push_back(
+                    {w.spec->name, std::move(w.program)});
+            }
+        } else if (name == "classic") {
+            for (auto &[n, prog] : buildClassicSuite())
+                targets.push_back({"classic:" + n, std::move(prog)});
+        } else if (name.rfind("classic:", 0) == 0) {
+            const std::string sub = name.substr(8);
+            bool found = false;
+            for (auto &[n, prog] : buildClassicSuite()) {
+                if (n == sub) {
+                    targets.push_back({name, std::move(prog)});
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                fatal("unknown classic kernel '", sub,
+                      "' (daxpy, sieve, queens, wordcopy, whet)");
+            }
+        } else {
+            Workload w = buildWorkload(name, scale, seed);
+            targets.push_back({w.spec->name, std::move(w.program)});
+        }
+    }
+    return targets;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace drsim;
+
+    std::string workload = "all";
+    std::int64_t scale = kDefaultSuiteScale;
+    std::int64_t seed = 0;
+    std::int64_t mix_tolerance_tenths = 30;
+    bool json = false;
+    bool strict = false;
+    bool no_mix = false;
+    bool print_mix = false;
+
+    OptionParser p;
+    p.addString("workload", &workload,
+                "comma-separated kernels; 'all' = the nine-kernel "
+                "suite, 'classic' / 'classic:<name>' = mini-suite");
+    p.addInt("scale", &scale, "workload scale (~10k insts per unit)");
+    p.addInt("seed", &seed, "data seed (0 = kernel default)");
+    p.addFlag("json", &json, "emit one machine-readable JSON object");
+    p.addFlag("strict", &strict,
+              "exit non-zero on warnings as well as errors");
+    p.addFlag("no-mix", &no_mix,
+              "skip the instruction-mix drift rule");
+    p.addInt("mix-tolerance", &mix_tolerance_tenths,
+             "mix drift tolerance in tenths of a percentage point");
+    p.addFlag("print-mix", &print_mix,
+              "print each program's estimator-space mix (for "
+              "recalibrating the targets in src/analysis/mix.cc)");
+
+    if (!p.parse(argc - 1, argv + 1)) {
+        std::fprintf(stderr, "drsim_lint: %s\n%s", p.error().c_str(),
+                     p.helpText("drsim_lint").c_str());
+        return 2;
+    }
+    if (p.helpRequested()) {
+        std::printf("%s", p.helpText("drsim_lint").c_str());
+        return 0;
+    }
+
+    try {
+        analysis::Options opts;
+        opts.checkMix = !no_mix;
+        opts.mixTolerancePct = double(mix_tolerance_tenths) / 10.0;
+
+        const std::vector<Target> targets =
+            resolveTargets(workload, int(scale), std::uint64_t(seed));
+        if (targets.empty())
+            fatal("no workloads selected");
+
+        if (print_mix) {
+            std::printf("%-18s %7s %7s %7s %7s\n", "program", "load%",
+                        "store%", "cbr%", "fp%");
+            for (const Target &t : targets) {
+                const analysis::MixEstimate est =
+                    analysis::estimateMix(t.program);
+                std::printf("%-18s %7.1f %7.1f %7.1f %7.1f\n",
+                            t.name.c_str(), est.loadPct, est.storePct,
+                            est.condBranchPct, est.fpPct);
+            }
+            return 0;
+        }
+
+        std::size_t errors = 0, warnings = 0;
+        std::string json_reports;
+        for (const Target &t : targets) {
+            const analysis::Report report =
+                analysis::analyzeProgram(t.program, opts);
+            errors += report.count(analysis::Severity::Error);
+            warnings += report.count(analysis::Severity::Warning);
+            if (json) {
+                if (!json_reports.empty())
+                    json_reports += ",";
+                json_reports += analysis::reportToJson(report);
+            } else {
+                for (const analysis::Finding &f : report.findings) {
+                    std::printf("%s: %s\n", t.name.c_str(),
+                                analysis::formatFinding(f).c_str());
+                }
+                std::printf("%s: %s\n", t.name.c_str(),
+                            report.summary().c_str());
+            }
+        }
+        if (json) {
+            std::printf("{\"schema\":\"drsim-lint-v1\",\"errors\":%zu,"
+                        "\"warnings\":%zu,\"reports\":[%s]}\n",
+                        errors, warnings, json_reports.c_str());
+        }
+        if (errors > 0 || (strict && warnings > 0))
+            return 1;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "drsim_lint: %s\n", e.what());
+        return 2;
+    }
+    return 0;
+}

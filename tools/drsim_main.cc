@@ -203,6 +203,7 @@ main(int argc, char **argv)
                     (long long)width, cfg.dqSize, (long long)regs,
                     model.c_str(), cache.c_str());
 
+        verifyProgram(prog);
         Processor proc(cfg, prog);
         std::ofstream trace_os;
         if (!trace_file.empty()) {
