@@ -5,17 +5,17 @@ namespace drsim {
 CombinedPredictor::CombinedPredictor()
 {
     // Weakly not-taken counters; neutral selector.
-    bimodal_.fill(1);
+    pcTable_.fill({1, 1});
     global_.fill(1);
-    selector_.fill(1);
 }
 
 bool
 CombinedPredictor::predict(Addr pc) const
 {
-    const bool bi = counterTaken(bimodal_[pcIndex(pc)]);
+    const PcEntry &e = pcTable_[pcIndex(pc)];
+    const bool bi = counterTaken(e.bimodal);
     const bool gl = counterTaken(global_[gshareIndex(pc, history_)]);
-    const bool use_global = counterTaken(selector_[pcIndex(pc)]);
+    const bool use_global = counterTaken(e.selector);
     return use_global ? gl : bi;
 }
 
@@ -31,14 +31,14 @@ void
 CombinedPredictor::update(Addr pc, std::uint32_t history_used,
                           bool taken)
 {
-    std::uint8_t &bi = bimodal_[pcIndex(pc)];
+    PcEntry &e = pcTable_[pcIndex(pc)];
     std::uint8_t &gl = global_[gshareIndex(pc, history_used)];
-    const bool bi_correct = counterTaken(bi) == taken;
+    const bool bi_correct = counterTaken(e.bimodal) == taken;
     const bool gl_correct = counterTaken(gl) == taken;
     // The selector trains toward whichever component was right.
     if (bi_correct != gl_correct)
-        bump(selector_[pcIndex(pc)], gl_correct);
-    bump(bi, taken);
+        bump(e.selector, gl_correct);
+    bump(e.bimodal, taken);
     bump(gl, taken);
 }
 

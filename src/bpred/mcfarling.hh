@@ -98,9 +98,17 @@ class CombinedPredictor
         }
     }
 
-    std::array<std::uint8_t, kTableSize> bimodal_;
+    /** The bimodal and selector tables are both indexed by pcIndex();
+     *  interleaving them puts the two counters a prediction and an
+     *  update both touch in the same cache line. */
+    struct PcEntry
+    {
+        std::uint8_t bimodal;
+        std::uint8_t selector;
+    };
+
+    std::array<PcEntry, kTableSize> pcTable_;
     std::array<std::uint8_t, kTableSize> global_;
-    std::array<std::uint8_t, kTableSize> selector_;
     std::uint32_t history_ = 0;
 };
 

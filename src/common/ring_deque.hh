@@ -1,0 +1,154 @@
+/**
+ * @file
+ * A flat circular double-ended queue.
+ *
+ * std::deque allocates and frees fixed-size node blocks as its ends
+ * move; on the simulator hot path (the instruction window and the
+ * dispatch/ready/store queues, which push and pop every cycle) that
+ * node churn dominates the container cost.  RingDeque stores elements
+ * in one power-of-two array indexed modulo the capacity, so steady-
+ * state push/pop never allocates and operator[] is a mask and an add.
+ *
+ * Only the operations the simulator needs are provided: both-end push
+ * and pop, random access from the front, front/back, size, clear and
+ * swap.  Elements are contiguous *logically*, not physically; no
+ * iterators are exposed.  Growing doubles the capacity and moves the
+ * live elements to the base of the new array (amortized O(1) push).
+ */
+
+#ifndef DRSIM_COMMON_RING_DEQUE_HH
+#define DRSIM_COMMON_RING_DEQUE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace drsim {
+
+template <typename T>
+class RingDeque
+{
+  public:
+    RingDeque() = default;
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    /** Grow the backing array to hold @p n elements without further
+     *  allocation (rounded up to a power of two). */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > buf_.size())
+            regrow(n);
+    }
+
+    T &
+    operator[](std::size_t i)
+    {
+        return buf_[(head_ + i) & mask_];
+    }
+    const T &
+    operator[](std::size_t i) const
+    {
+        return buf_[(head_ + i) & mask_];
+    }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+    T &back() { return buf_[(head_ + count_ - 1) & mask_]; }
+    const T &back() const { return buf_[(head_ + count_ - 1) & mask_]; }
+
+    void
+    push_back(const T &value)
+    {
+        if (count_ == buf_.size())
+            regrow(count_ + 1);
+        buf_[(head_ + count_) & mask_] = value;
+        ++count_;
+    }
+    void
+    push_back(T &&value)
+    {
+        if (count_ == buf_.size())
+            regrow(count_ + 1);
+        buf_[(head_ + count_) & mask_] = std::move(value);
+        ++count_;
+    }
+
+    /**
+     * Value-initialize a new back element in place and return it, so
+     * large elements (the instruction window's DynInsts) are built in
+     * their final slot instead of copied in.  The reference is valid
+     * until the next push/pop/reserve.
+     */
+    T &
+    emplace_back()
+    {
+        if (count_ == buf_.size())
+            regrow(count_ + 1);
+        T &slot = buf_[(head_ + count_) & mask_];
+        slot = T{};
+        ++count_;
+        return slot;
+    }
+
+    void
+    pop_front()
+    {
+        if (count_ == 0)
+            DRSIM_PANIC("pop_front on empty RingDeque");
+        head_ = (head_ + 1) & mask_;
+        --count_;
+    }
+
+    void
+    pop_back()
+    {
+        if (count_ == 0)
+            DRSIM_PANIC("pop_back on empty RingDeque");
+        --count_;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+    void
+    swap(RingDeque &other) noexcept
+    {
+        buf_.swap(other.buf_);
+        std::swap(head_, other.head_);
+        std::swap(count_, other.count_);
+        std::swap(mask_, other.mask_);
+    }
+
+  private:
+    void
+    regrow(std::size_t need)
+    {
+        std::size_t cap = buf_.empty() ? 8 : buf_.size();
+        while (cap < need)
+            cap <<= 1;
+        std::vector<T> grown(cap);
+        for (std::size_t i = 0; i < count_; ++i)
+            grown[i] = std::move(buf_[(head_ + i) & mask_]);
+        buf_.swap(grown);
+        head_ = 0;
+        mask_ = cap - 1;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::size_t mask_ = 0;
+};
+
+} // namespace drsim
+
+#endif // DRSIM_COMMON_RING_DEQUE_HH

@@ -37,6 +37,21 @@ class Histogram
         ++total_;
     }
 
+    /** Record @p n observations of @p value at once — equivalent to
+     *  calling addSample(value) @p n times.  The stall skip-ahead path
+     *  uses this to account for a whole run of identical cycles with
+     *  one bucket update. */
+    void
+    addSamples(std::uint64_t value, std::uint64_t n)
+    {
+        if (n == 0)
+            return;
+        if (value >= counts_.size())
+            counts_.resize(value + 1, 0);
+        counts_[value] += n;
+        total_ += n;
+    }
+
     /** Total number of recorded samples. */
     std::uint64_t totalSamples() const { return total_; }
 

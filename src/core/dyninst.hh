@@ -65,6 +65,10 @@ struct DynInst
     /** Unpipelined divider unit occupied (-1 none). */
     int divUnit = -1;
 
+    /** Source operands still pending in the event-driven scheduler;
+     *  the instruction enters a ready queue when this reaches zero. */
+    std::uint8_t waitingOps = 0;
+
     Cycle insertCycle = 0;
     Cycle issueCycle = kInvalidCycle;
     Cycle completeCycle = kInvalidCycle;

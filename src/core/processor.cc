@@ -1,6 +1,8 @@
 #include "core/processor.hh"
 
 #include <algorithm>
+#include <bit>
+#include <iterator>
 #include <ostream>
 
 #include "common/json.hh"
@@ -71,26 +73,186 @@ Processor::Processor(const CoreConfig &config, const Program *external,
       emu_(program_),
       dcache_(config.cacheKind, config.dcache),
       icache_(config.icache),
-      rename_(config.numPhysRegs, config.exceptionModel)
+      rename_(config.numPhysRegs, config.exceptionModel),
+      eventScheduler_(!config.scanScheduler)
 {
-    // Completion events land at most hitLatency + missPenalty + 2
-    // cycles ahead (a merged load), or the longest divide latency.
+    // Completion events land at most hitLatency + missPenalty + 4
+    // cycles ahead (a merged load), or the longest fixed operation
+    // latency; pre-size the ring to the covering power of two so it
+    // never grows at run time.
     const Cycle horizon =
         std::max<Cycle>(config_.dcache.hitLatency +
                             config_.dcache.missPenalty + 4,
-                        24);
-    ringSize_ = 1;
-    while (ringSize_ <= horizon)
-        ringSize_ <<= 1;
+                        Cycle(maxOpLatency()) + 8);
+    ringSize_ = std::bit_ceil(horizon + 1);
     ring_.resize(ringSize_);
+    for (auto &bucket : ring_)
+        bucket.reserve(8);
     dividerBusyUntil_.assign(config_.numFpDividers(), 0);
+
+    window_.reserve(256);
+    storeQueue_.reserve(64);
+    storeAddrMap_.reserve(64);
+    const auto dq_cap = std::size_t(config_.dqSize);
+    if (eventScheduler_) {
+        for (auto &per_class : waiters_)
+            per_class.resize(std::size_t(config_.numPhysRegs));
+        for (int q = 0; q < 3; ++q) {
+            readyQ_[q].reserve(dq_cap);
+            wake_[q].reserve(dq_cap);
+            keep_[q].reserve(dq_cap);
+        }
+        mergeScratch_.reserve(dq_cap);
+    } else {
+        dq_.reserve(dq_cap);
+        dqFp_.reserve(dq_cap);
+        dqMem_.reserve(dq_cap);
+        for (auto &k : scanKeep_)
+            k.reserve(dq_cap);
+    }
 }
 
 void
 Processor::run()
 {
+    if (eventScheduler_ && config_.stallSkipAhead) {
+        while (!done()) {
+            tick();
+            if (!done())
+                skipStallCycles();
+        }
+        return;
+    }
     while (!done())
         tick();
+}
+
+void
+Processor::skipStallCycles()
+{
+    // A cycle may be skipped only when a real tick would provably
+    // change nothing: no ready instruction (so the issue stage is a
+    // no-op — every time-dependent retry, like a port-rejected load or
+    // a busy divider, keeps its instruction in a ready queue), no
+    // committable head, no register frees landing at the next cycle
+    // boundary, and a front end blocked for a reason that cannot clear
+    // before the next completion event.  The skipped cycles are then
+    // bulk-attributed to the same CycleCause a real tick would have
+    // recorded, preserving sum(causeCycles) == cycles.
+    if (!readyQ_[0].empty() || !readyQ_[1].empty() ||
+        !readyQ_[2].empty()) {
+        return;
+    }
+    if (!window_.empty() &&
+        window_.front().state == InstState::Completed) {
+        return;
+    }
+    if (rename_.hasPendingFrees())
+        return;
+
+    // Determine why (and whether) the insert stage is blocked next
+    // cycle, mirroring insertStage's check order exactly.
+    CycleCause cause = CycleCause::OperandWait;
+    bool icache_bound = false;
+    if (emu_.fetchBlocked()) {
+        cause = CycleCause::FetchBlocked;
+    } else if (now_ + 1 < icacheStallUntil_) {
+        cause = CycleCause::ICacheStall;
+        icache_bound = true;
+    } else {
+        if (!config_.perfectICache) {
+            const Addr line = emu_.pc() / config_.icache.lineBytes;
+            if (!lastFetchLineValid_ || line != lastFetchLine_)
+                return; // next cycle starts an instruction-cache fetch
+        }
+        const Instruction *si = emu_.peek();
+        const int qidx = queueIndexFor(*si);
+        if (dqCount_[qidx] >= queueCapacity(*si)) {
+            cause = qidx == 0   ? CycleCause::DqFullInt
+                    : qidx == 1 ? CycleCause::DqFullFp
+                                : CycleCause::DqFullMem;
+        } else if (si->writesReg() &&
+                   !rename_.canAllocate(si->dest.cls)) {
+            cause = si->dest.cls == RegClass::Int
+                        ? CycleCause::NoFreeRegInt
+                        : CycleCause::NoFreeRegFp;
+        } else {
+            return; // insert would make progress
+        }
+    }
+
+    // Jump to the next cycle anything can change: the next completion
+    // event, or the end of the instruction-cache stall.
+    Cycle target = kInvalidCycle;
+    for (std::size_t i = 1; i < ringSize_; ++i) {
+        if (!ring_[(now_ + i) % ringSize_].empty()) {
+            target = now_ + i;
+            break;
+        }
+    }
+    if (icache_bound)
+        target = std::min(target, icacheStallUntil_);
+    if (target == kInvalidCycle)
+        return; // nothing in flight: let the watchdog see the stall
+    // Never skip the deadlock-watchdog trip point or an audit tick.
+    if (config_.deadlockCycles) {
+        target = std::min(target, lastCommitCycle_ +
+                                      config_.deadlockCycles + 1);
+    }
+    if (config_.auditInterval) {
+        target = std::min(
+            target,
+            (now_ / config_.auditInterval + 1) * config_.auditInterval);
+    }
+    if (target <= now_ + 1)
+        return;
+    applyStallCycles(target - now_ - 1, cause);
+}
+
+void
+Processor::applyStallCycles(Cycle skipped, CycleCause cause)
+{
+    now_ += skipped;
+    stats_.cycles = now_;
+    stats_.causeCycles[int(cause)] += skipped;
+    switch (cause) {
+      case CycleCause::NoFreeRegInt:
+      case CycleCause::NoFreeRegFp:
+        stats_.insertStallNoRegCycles += skipped;
+        break;
+      case CycleCause::DqFullInt:
+      case CycleCause::DqFullFp:
+      case CycleCause::DqFullMem:
+        stats_.insertStallDqFullCycles += skipped;
+        break;
+      case CycleCause::FetchBlocked:
+        stats_.fetchBlockedCycles += skipped;
+        break;
+      default:
+        break;
+    }
+    if (rename_.freeCount(RegClass::Int) == 0 ||
+        rename_.freeCount(RegClass::Fp) == 0) {
+        stats_.noFreeRegCycles += skipped;
+    }
+    if (config_.collectOccupancyHistograms) {
+        stats_.dqDepth.addSamples(dqOccupancy(), skipped);
+        stats_.windowDepth.addSamples(window_.size(), skipped);
+        stats_.storeQueueDepth.addSamples(storeQueue_.size(), skipped);
+    }
+    if (!config_.collectLiveHistograms)
+        return;
+    for (int c = 0; c < kNumRegClasses; ++c) {
+        const LiveCounts lc = rename_.liveCounts(RegClass(c));
+        const std::uint64_t s1 = lc.inFlight;
+        const std::uint64_t s2 = s1 + lc.inQueue;
+        const std::uint64_t s3 = s2 + lc.waitImprecise;
+        const std::uint64_t s4 = s3 + lc.waitPrecise;
+        stats_.live[c][0].addSamples(s1, skipped);
+        stats_.live[c][1].addSamples(s2, skipped);
+        stats_.live[c][2].addSamples(s3, skipped);
+        stats_.live[c][3].addSamples(s4, skipped);
+    }
 }
 
 void
@@ -123,7 +285,7 @@ Processor::tick()
         now_ - lastCommitCycle_ > config_.deadlockCycles) {
         DRSIM_PANIC("no commit for ", config_.deadlockCycles,
                     " cycles (window=", window_.size(),
-                    " dq=", dq_.size(),
+                    " dq=", dqOccupancy(),
                     " freeInt=", rename_.freeCount(RegClass::Int),
                     " freeFp=", rename_.freeCount(RegClass::Fp), ")");
     }
@@ -199,19 +361,62 @@ Processor::commitStage()
     }
 }
 
-bool
-Processor::branchesBeforeCompleted(InstSeqNum seq) const
+void
+Processor::trimUnissuedFront()
 {
-    return uncompletedBranches_.empty() ||
-           *uncompletedBranches_.begin() > seq;
+    // Entries are popped lazily: a branch that issued (or committed,
+    // or was squashed — squashes truncate the back in recover()) left
+    // the queue logically; physically it leaves when it reaches the
+    // front.  Each entry is pushed and popped once, so every query is
+    // amortized O(1) — this is the "cached oldest unissued branch"
+    // replacing the ordered-set begin() on the issue path.
+    while (!unissuedBranchQ_.empty()) {
+        const InstSeqNum seq = unissuedBranchQ_.front();
+        if (seq >= headSeq_ && inst(seq).state == InstState::InQueue)
+            break;
+        unissuedBranchQ_.pop_front();
+    }
+}
+
+InstSeqNum
+Processor::oldestUnissuedBranch()
+{
+    trimUnissuedFront();
+    return unissuedBranchQ_.empty() ? 0 : unissuedBranchQ_.front();
+}
+
+void
+Processor::trimUncompletedFront()
+{
+    while (!uncompletedBranchQ_.empty()) {
+        const InstSeqNum seq = uncompletedBranchQ_.front();
+        if (seq >= headSeq_ && !inst(seq).completed())
+            break;
+        uncompletedBranchQ_.pop_front();
+    }
+}
+
+InstSeqNum
+Processor::oldestUncompletedBranch()
+{
+    trimUncompletedFront();
+    return uncompletedBranchQ_.empty() ? 0
+                                       : uncompletedBranchQ_.front();
+}
+
+bool
+Processor::branchesBeforeCompleted(InstSeqNum seq)
+{
+    const InstSeqNum oldest = oldestUncompletedBranch();
+    return oldest == 0 || oldest > seq;
 }
 
 void
 Processor::drainKillers()
 {
-    const InstSeqNum min_branch = uncompletedBranches_.empty()
-                                      ? ~InstSeqNum{0}
-                                      : *uncompletedBranches_.begin();
+    const InstSeqNum oldest = oldestUncompletedBranch();
+    const InstSeqNum min_branch =
+        oldest == 0 ? ~InstSeqNum{0} : oldest;
     while (!pendingKillers_.empty() &&
            pendingKillers_.top().seq < min_branch) {
         const PendingKiller k = pendingKillers_.top();
@@ -253,10 +458,12 @@ Processor::completeStage()
                 pendingKillers_.push({in.seq, in.uid, in.si->dest.cls,
                                       in.si->dest.index});
             }
+            if (eventScheduler_)
+                wakeDependents(in.si->dest.cls, in.physDest);
         }
 
         if (in.isCondBranch()) {
-            uncompletedBranches_.erase(in.seq);
+            trimUncompletedFront();
             if (in.hasEmuCp) {
                 emu_.releaseCheckpoint(in.emuCp);
                 in.hasEmuCp = false;
@@ -265,6 +472,27 @@ Processor::completeStage()
         }
     }
     bucket.clear();
+}
+
+void
+Processor::wakeDependents(RegClass cls, PhysRegIndex preg)
+{
+    // The subscribers were not operand-ready at insert; this producer
+    // completing is the only event that can supply this operand, and
+    // the value is sourceable from this cycle on (readyCycle was set
+    // to the completion cycle at issue) — so delivering wakeups here
+    // is observationally identical to the per-cycle readiness rescan.
+    std::vector<Waiter> &list = waiters_[int(cls)][preg];
+    for (const Waiter &w : list) {
+        if (!validInst(w.seq, w.uid))
+            continue; // squashed while waiting
+        DynInst &dep = inst(w.seq);
+        if (dep.waitingOps == 0)
+            DRSIM_PANIC("wakeup underflow for seq ", w.seq);
+        if (--dep.waitingOps == 0)
+            wake_[queueIndexFor(*dep.si)].push_back(w.seq);
+    }
+    list.clear();
 }
 
 void
@@ -278,6 +506,8 @@ Processor::scheduleCompletion(DynInst &in, Cycle when)
 void
 Processor::finishIssue(DynInst &in, Cycle complete_at)
 {
+    if (eventScheduler_)
+        --dqCount_[queueIndexFor(*in.si)];
     in.state = InstState::Issued;
     in.issueCycle = now_;
     ++stats_.executed;
@@ -294,7 +524,7 @@ Processor::finishIssue(DynInst &in, Cycle complete_at)
 
     if (in.isCondBranch()) {
         ++stats_.executedCondBranches;
-        unissuedBranches_.erase(in.seq);
+        trimUnissuedFront();
         // Counters train at execution, in execution order (paper 2.1).
         pred_.update(in.pc, in.historyBefore, in.actualTaken);
         if (!config_.speculativeHistoryUpdate)
@@ -430,8 +660,7 @@ Processor::tryIssue(DynInst &in, IssueBudget &budget)
         // Ablation: force conditional branches to execute in program
         // order (paper Section 3: better prediction, worse IPC).
         if (config_.inOrderBranches &&
-            !unissuedBranches_.empty() &&
-            *unissuedBranches_.begin() != in.seq) {
+            oldestUnissuedBranch() != in.seq) {
             return false;
         }
         finishIssue(in, now_ + opTraits(in.si->op).latency);
@@ -451,7 +680,7 @@ Processor::tryIssue(DynInst &in, IssueBudget &budget)
     return true;
 }
 
-std::deque<InstSeqNum> &
+RingDeque<InstSeqNum> &
 Processor::queueFor(const Instruction &si)
 {
     if (!config_.splitDispatchQueues)
@@ -505,6 +734,15 @@ Processor::queueCapacity(const Instruction &si) const
 void
 Processor::issueStage()
 {
+    if (eventScheduler_)
+        issueStageEvent();
+    else
+        issueStageScan();
+}
+
+void
+Processor::issueStageScan()
+{
     IssueBudget budget{config_.issueWidth, config_.intIssueLimit(),
                        config_.fpIssueLimit(), config_.fpDivIssueLimit(),
                        config_.memIssueLimit(), config_.ctrlIssueLimit()};
@@ -514,8 +752,11 @@ Processor::issueStage()
     // Greedy oldest-first selection.  With split queues this is a
     // seq-ordered merge across the three queues, so the policy stays
     // "earliest in program order first" machine-wide.
-    std::deque<InstSeqNum> *queues[3] = {&dq_, &dqFp_, &dqMem_};
-    std::deque<InstSeqNum> keep[3];
+    RingDeque<InstSeqNum> *queues[3] = {&dq_, &dqFp_, &dqMem_};
+    RingDeque<InstSeqNum> *keep[3] = {&scanKeep_[0], &scanKeep_[1],
+                                      &scanKeep_[2]};
+    for (auto *k : keep)
+        k->clear();
     std::size_t pos[3] = {0, 0, 0};
     while (budget.total > 0) {
         int best = -1;
@@ -532,7 +773,7 @@ Processor::issueStage()
         ++pos[best];
         DynInst &in = inst(seq);
         if (!tryIssue(in, budget)) {
-            keep[best].push_back(seq);
+            keep[best]->push_back(seq);
             continue;
         }
         if (in.isCondBranch() && in.mispredicted &&
@@ -546,8 +787,103 @@ Processor::issueStage()
         if (budget.total == 0 && pos[q] < queues[q]->size())
             obs_.issueWidthBound = true;
         for (; pos[q] < queues[q]->size(); ++pos[q])
-            keep[q].push_back((*queues[q])[pos[q]]);
-        queues[q]->swap(keep[q]);
+            keep[q]->push_back((*queues[q])[pos[q]]);
+        queues[q]->swap(*keep[q]);
+    }
+
+    if (recovery_branch != nullptr)
+        recover(*recovery_branch);
+}
+
+void
+Processor::issueStageEvent()
+{
+    // Fold this cycle's wakeups into the seq-sorted ready queues.
+    // Completions walk the ring bucket in schedule order, so the wake
+    // buffers need an explicit sort; entries are unique (an
+    // instruction reaches waitingOps == 0 exactly once).
+    for (int q = 0; q < 3; ++q) {
+        std::vector<InstSeqNum> &wake = wake_[q];
+        if (wake.empty())
+            continue;
+        std::sort(wake.begin(), wake.end());
+        std::vector<InstSeqNum> &ready = readyQ_[q];
+        if (ready.empty()) {
+            ready.swap(wake);
+        } else {
+            mergeScratch_.clear();
+            std::merge(ready.begin(), ready.end(), wake.begin(),
+                       wake.end(), std::back_inserter(mergeScratch_));
+            ready.swap(mergeScratch_);
+        }
+        wake.clear();
+    }
+
+    IssueBudget budget{config_.issueWidth, config_.intIssueLimit(),
+                       config_.fpIssueLimit(), config_.fpDivIssueLimit(),
+                       config_.memIssueLimit(), config_.ctrlIssueLimit()};
+
+    DynInst *recovery_branch = nullptr;
+    InstSeqNum last_issued = 0;
+
+    // The same greedy seq-ordered merge as the scan path, but only
+    // over operand-ready instructions.  tryIssue's readiness check is
+    // side-effect-free and is what the scan spends most of its time
+    // failing, so restricting the walk to ready entries (which can
+    // still be kept back by budgets, dividers, ports or unresolved
+    // stores — all retried next cycle) is observationally identical.
+    std::vector<InstSeqNum> *queues[3] = {&readyQ_[0], &readyQ_[1],
+                                          &readyQ_[2]};
+    for (auto &k : keep_)
+        k.clear();
+    std::size_t pos[3] = {0, 0, 0};
+    while (budget.total > 0) {
+        int best = -1;
+        for (int q = 0; q < 3; ++q) {
+            if (pos[q] < queues[q]->size() &&
+                (best < 0 ||
+                 (*queues[q])[pos[q]] < (*queues[best])[pos[best]])) {
+                best = q;
+            }
+        }
+        if (best < 0)
+            break;
+        const InstSeqNum seq = (*queues[best])[pos[best]];
+        ++pos[best];
+        DynInst &in = inst(seq);
+        if (!tryIssue(in, budget)) {
+            keep_[best].push_back(seq);
+            continue;
+        }
+        last_issued = seq;
+        if (in.isCondBranch() && in.mispredicted &&
+            recovery_branch == nullptr) {
+            recovery_branch = &in; // oldest mispredict this cycle
+        }
+    }
+
+    if (budget.total == 0) {
+        // The scan flags a width-bound cycle when the budget ran out
+        // with queue entries never examined — i.e. some resident is
+        // younger than the last instruction issued.  Walk the window
+        // youngest-first; every InQueue instruction there (ready or
+        // operand-waiting) is such a resident, and the walk stops at
+        // the last-issued seq, so it only visits younger entries.
+        for (std::size_t i = window_.size(); i-- > 0;) {
+            const DynInst &in = window_[i];
+            if (in.seq <= last_issued)
+                break;
+            if (in.state == InstState::InQueue) {
+                obs_.issueWidthBound = true;
+                break;
+            }
+        }
+    }
+
+    for (int q = 0; q < 3; ++q) {
+        for (; pos[q] < queues[q]->size(); ++pos[q])
+            keep_[q].push_back((*queues[q])[pos[q]]);
+        queues[q]->swap(keep_[q]);
     }
 
     if (recovery_branch != nullptr)
@@ -618,15 +954,15 @@ Processor::squashYoungest()
     if (trace_ != nullptr)
         traceLine(in, true);
 
-    if (in.isCondBranch()) {
-        if (!in.completed())
-            uncompletedBranches_.erase(in.seq);
-        unissuedBranches_.erase(in.seq);
-        if (in.hasEmuCp) {
-            emu_.releaseCheckpoint(in.emuCp);
-            in.hasEmuCp = false;
-        }
+    // Branch-queue entries for squashed branches are truncated from
+    // the back in recover(), after the squash loop.
+    if (in.isCondBranch() && in.hasEmuCp) {
+        emu_.releaseCheckpoint(in.emuCp);
+        in.hasEmuCp = false;
     }
+
+    if (eventScheduler_ && in.state == InstState::InQueue)
+        --dqCount_[queueIndexFor(*in.si)];
 
     // Readers that never completed still hold user claims.
     if (!in.completed()) {
@@ -678,9 +1014,23 @@ Processor::recover(DynInst &branch)
     while (!window_.empty() && window_.back().seq > bseq)
         squashYoungest();
 
-    for (std::deque<InstSeqNum> *q : {&dq_, &dqFp_, &dqMem_}) {
-        while (!q->empty() && q->back() > bseq)
-            q->pop_back();
+    if (eventScheduler_) {
+        for (std::vector<InstSeqNum> &rq : readyQ_) {
+            while (!rq.empty() && rq.back() > bseq)
+                rq.pop_back();
+        }
+        // wake_ is empty here: it is drained at the top of the issue
+        // stage and refilled only in the complete stage.
+    } else {
+        for (RingDeque<InstSeqNum> *q : {&dq_, &dqFp_, &dqMem_}) {
+            while (!q->empty() && q->back() > bseq)
+                q->pop_back();
+        }
+    }
+    for (RingDeque<InstSeqNum> *bq :
+         {&unissuedBranchQ_, &uncompletedBranchQ_}) {
+        while (!bq->empty() && bq->back() > bseq)
+            bq->pop_back();
     }
 
     if (!branch.hasEmuCp)
@@ -734,8 +1084,12 @@ Processor::insertStage()
         const Instruction *si = emu_.peek();
         // Insert stalls when the instruction's *target* queue is full
         // (for the unified queue this is the single dqSize bound).
-        if (int(queueFor(*si).size()) >= queueCapacity(*si)) {
-            obs_.dqFull[queueIndexFor(*si)] = true;
+        const int qidx = queueIndexFor(*si);
+        const int occupancy = eventScheduler_
+                                  ? dqCount_[qidx]
+                                  : int(queueFor(*si).size());
+        if (occupancy >= queueCapacity(*si)) {
+            obs_.dqFull[qidx] = true;
             break;
         }
         if (si->writesReg() && !rename_.canAllocate(si->dest.cls)) {
@@ -743,7 +1097,9 @@ Processor::insertStage()
             break;
         }
 
-        DynInst in;
+        // Build the DynInst in its window slot directly; all stall
+        // checks that could abandon this fetch slot ran above.
+        DynInst &in = window_.emplace_back();
         in.uid = nextUid_++;
         in.seq = nextSeq_++;
         in.si = si;
@@ -763,8 +1119,8 @@ Processor::insertStage()
             in.predictedTaken = follow_taken;
             in.emuCp = emu_.takeCheckpoint();
             in.hasEmuCp = true;
-            uncompletedBranches_.insert(in.seq);
-            unissuedBranches_.insert(in.seq);
+            uncompletedBranchQ_.push_back(in.seq);
+            unissuedBranchQ_.push_back(in.seq);
         }
 
         const StepInfo step = emu_.step(follow_taken);
@@ -787,8 +1143,29 @@ Processor::insertStage()
             storeAddrMap_[in.effAddr].push_back(in.seq);
         }
 
-        queueFor(*si).push_back(in.seq);
-        window_.push_back(in);
+        if (eventScheduler_) {
+            // Subscribe to in-flight producers; an operand whose
+            // readyCycle is still in the future is delivered by that
+            // producer's completion event (wakeDependents).  With no
+            // pending operands the instruction is ready immediately.
+            std::uint8_t waiting = 0;
+            if (!rename_.isReady(si->src1.cls, in.physSrc1, now_)) {
+                waiters_[int(si->src1.cls)][in.physSrc1].push_back(
+                    {in.seq, in.uid});
+                ++waiting;
+            }
+            if (!rename_.isReady(si->src2.cls, in.physSrc2, now_)) {
+                waiters_[int(si->src2.cls)][in.physSrc2].push_back(
+                    {in.seq, in.uid});
+                ++waiting;
+            }
+            in.waitingOps = waiting;
+            ++dqCount_[qidx];
+            if (waiting == 0)
+                readyQ_[qidx].push_back(in.seq);
+        } else {
+            queueFor(*si).push_back(in.seq);
+        }
         --budget;
     }
 

@@ -30,16 +30,17 @@
 #ifndef DRSIM_CORE_PROCESSOR_HH
 #define DRSIM_CORE_PROCESSOR_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
 #include <memory>
 #include <queue>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "bpred/mcfarling.hh"
+#include "common/ring_deque.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/config.hh"
@@ -217,6 +218,10 @@ class Processor
     std::size_t
     dqOccupancy() const
     {
+        if (eventScheduler_) {
+            return std::size_t(dqCount_[0]) + std::size_t(dqCount_[1]) +
+                   std::size_t(dqCount_[2]);
+        }
         return dq_.size() + dqFp_.size() + dqMem_.size();
     }
 
@@ -299,20 +304,54 @@ class Processor
     }
     /// @}
 
+    /** A dispatch-queue resident waiting on a physical register. */
+    struct Waiter
+    {
+        InstSeqNum seq;
+        InstUid uid;
+    };
+
     /// @name Pipeline stages
     /// @{
     void commitStage();
     void completeStage();
     void issueStage();
+    /** Reference scheduler: rescan every dispatch-queue entry. */
+    void issueStageScan();
+    /** Event-driven scheduler: merge wakeups, walk ready queues. */
+    void issueStageEvent();
     void insertStage();
     void sampleStats();
+    /// @}
+
+    /// @name Event-driven scheduling
+    /// @{
+    /** Producer of (@p cls, @p preg) completed: deliver the pending
+     *  operand to every subscribed dispatch-queue resident. */
+    void wakeDependents(RegClass cls, PhysRegIndex preg);
+    /** From run(): if no state can change before the next completion
+     *  event, jump time forward and bulk-attribute the stall cycles. */
+    void skipStallCycles();
+    /** Account @p skipped identical stall cycles of cause @p cause. */
+    void applyStallCycles(Cycle skipped, CycleCause cause);
+    /// @}
+
+    /// @name Branch-order tracking (lazily trimmed monotone queues)
+    /// @{
+    /** Drop leading entries whose branch has issued / completed. */
+    void trimUnissuedFront();
+    void trimUncompletedFront();
+    /** Oldest still-unissued conditional branch (0 when none). */
+    InstSeqNum oldestUnissuedBranch();
+    /** Oldest uncompleted conditional branch (0 when none). */
+    InstSeqNum oldestUncompletedBranch();
     /// @}
 
     bool tryIssue(DynInst &in, struct IssueBudget &budget);
     /** Reduce this cycle's observations to one CycleCause bucket. */
     void classifyCycle();
     /** The queue an instruction dispatches into, and its capacity. */
-    std::deque<InstSeqNum> &queueFor(const Instruction &si);
+    RingDeque<InstSeqNum> &queueFor(const Instruction &si);
     /** CycleObs::dqFull index of the queue @p si dispatches into
      *  (0 for the unified queue). */
     int queueIndexFor(const Instruction &si) const;
@@ -326,7 +365,7 @@ class Processor
     void recover(DynInst &branch);
     void squashYoungest();
     void drainKillers();
-    bool branchesBeforeCompleted(InstSeqNum seq) const;
+    bool branchesBeforeCompleted(InstSeqNum seq);
     void stop(StopReason reason);
 
     CoreConfig config_;
@@ -340,32 +379,69 @@ class Processor
     RenameUnit rename_;
     ProcStats stats_;
 
+    /** False when CoreConfig::scanScheduler selects the reference
+     *  rescan path; fixed for the processor's life. */
+    const bool eventScheduler_;
+
     Cycle now_ = 0;
     InstUid nextUid_ = 1;
     InstSeqNum nextSeq_ = 1;
     InstSeqNum headSeq_ = 1;
-    std::deque<DynInst> window_;
+    /** In-flight window, indexed seq - headSeq_; a flat ring instead
+     *  of std::deque so the per-cycle push/pop churn never allocates
+     *  and inst() lookups stay in one array. */
+    RingDeque<DynInst> window_;
     /** Unified dispatch queue — or the integer+control queue when
-     *  splitDispatchQueues is set. */
-    std::deque<InstSeqNum> dq_;
+     *  splitDispatchQueues is set.  Maintained by the scan scheduler
+     *  only; the event scheduler tracks occupancy in dqCount_ and
+     *  readiness in readyQ_. */
+    RingDeque<InstSeqNum> dq_;
     /** Split-mode floating-point and memory queues (otherwise empty). */
-    std::deque<InstSeqNum> dqFp_;
-    std::deque<InstSeqNum> dqMem_;
+    RingDeque<InstSeqNum> dqFp_;
+    RingDeque<InstSeqNum> dqMem_;
+    /** Scan-mode per-queue keep buffers (cleared each cycle). */
+    RingDeque<InstSeqNum> scanKeep_[3];
+
+    /// @name Event-driven scheduler state
+    /// @{
+    /** Dispatch-queue residents per queue (insert +1, issue/squash -1;
+     *  mirrors the scan queues' sizes exactly). */
+    int dqCount_[3] = {0, 0, 0};
+    /** Seq-sorted operand-ready residents per queue: the only
+     *  instructions the issue stage examines. */
+    std::vector<InstSeqNum> readyQ_[3];
+    /** Instructions whose last operand arrived this cycle; sorted and
+     *  merged into readyQ_ at the top of the issue stage. */
+    std::vector<InstSeqNum> wake_[3];
+    /** Issue-stage scratch (kept entries / merge target). */
+    std::vector<InstSeqNum> keep_[3];
+    std::vector<InstSeqNum> mergeScratch_;
+    /** Per-physical-register wakeup lists: dispatch-queue residents
+     *  subscribed to an in-flight producer, cleared when the producer
+     *  completes (stale squashed entries are filtered by uid). */
+    std::array<std::vector<std::vector<Waiter>>, kNumRegClasses>
+        waiters_;
+    /// @}
 
     /// @name Memory ordering
     /// @{
-    std::deque<InstSeqNum> storeQueue_;
+    RingDeque<InstSeqNum> storeQueue_;
     /** 8-byte word address -> ascending store sequence numbers. */
     std::unordered_map<Addr, std::deque<InstSeqNum>> storeAddrMap_;
     /// @}
 
     /** Unissued conditional branches (for the in-order-branch
-     *  ablation). */
-    std::set<InstSeqNum> unissuedBranches_;
+     *  ablation), in insert order; issued branches are trimmed lazily
+     *  from the front, squashed ones from the back, so the front is
+     *  the cached oldest-unissued-branch of tryIssue's ordering
+     *  check — no ordered-set lookup on the issue path. */
+    RingDeque<InstSeqNum> unissuedBranchQ_;
 
     /// @name Imprecise kill engine
     /// @{
-    std::set<InstSeqNum> uncompletedBranches_;
+    /** Uncompleted conditional branches, same discipline as
+     *  unissuedBranchQ_. */
+    RingDeque<InstSeqNum> uncompletedBranchQ_;
     std::priority_queue<PendingKiller, std::vector<PendingKiller>,
                         std::greater<>>
         pendingKillers_;

@@ -54,9 +54,21 @@ RenameUnit::RenameUnit(int num_phys_regs, ExceptionModel model)
         // Physical registers 0..30 hold the initial mappings; the
         // rest (including index 31 — the zero register has no backing
         // physical register) start on the free list.
+        f.freeList.reserve(std::size_t(numPhysRegs_));
+        f.freedThisCycle.reserve(std::size_t(numPhysRegs_));
         for (int p = numPhysRegs_ - 1; p >= kNumVirtualRegs - 1; --p)
             f.freeList.push_back(PhysRegIndex(p));
     }
+}
+
+bool
+RenameUnit::hasPendingFrees() const
+{
+    for (const auto &f : files_) {
+        if (!f.freedThisCycle.empty())
+            return true;
+    }
+    return false;
 }
 
 void

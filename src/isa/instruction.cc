@@ -1,55 +1,10 @@
 #include "isa/instruction.hh"
 
-#include <array>
 #include <sstream>
-
-#include "common/logging.hh"
 
 namespace drsim {
 
 namespace {
-
-/**
- * Latency table per Section 2.1 of the paper: integer units are
- * single-cycle except the fully pipelined 6-cycle multiplier; FP units
- * are 3-cycle fully pipelined except the unpipelined divider (8 cycles
- * single precision, 16 cycles double precision); stores resolve in one
- * cycle; loads get their latency from the data cache.
- */
-constexpr std::array<OpTraits, kNumOpcodes> kTraits = {{
-    {"add",    OpClass::IntAlu,     1},
-    {"sub",    OpClass::IntAlu,     1},
-    {"and",    OpClass::IntAlu,     1},
-    {"or",     OpClass::IntAlu,     1},
-    {"xor",    OpClass::IntAlu,     1},
-    {"sll",    OpClass::IntAlu,     1},
-    {"srl",    OpClass::IntAlu,     1},
-    {"cmplt",  OpClass::IntAlu,     1},
-    {"cmple",  OpClass::IntAlu,     1},
-    {"cmpeq",  OpClass::IntAlu,     1},
-    {"mul",    OpClass::IntMult,    6},
-    {"fadd",   OpClass::FpAdd,      3},
-    {"fsub",   OpClass::FpAdd,      3},
-    {"fmul",   OpClass::FpAdd,      3},
-    {"fcmplt", OpClass::FpAdd,      3},
-    {"itof",   OpClass::FpAdd,      3},
-    {"ftoi",   OpClass::FpAdd,      3},
-    {"fdivs",  OpClass::FpDiv,      8},
-    {"fdivd",  OpClass::FpDiv,      16},
-    {"fsqrt",  OpClass::FpDiv,      16},
-    {"ldq",    OpClass::MemLoad,    0},
-    {"ldt",    OpClass::MemLoad,    0},
-    {"stq",    OpClass::MemStore,   1},
-    {"stt",    OpClass::MemStore,   1},
-    {"beq",    OpClass::CtrlCond,   1},
-    {"bne",    OpClass::CtrlCond,   1},
-    {"fbeq",   OpClass::CtrlCond,   1},
-    {"fbne",   OpClass::CtrlCond,   1},
-    {"br",     OpClass::CtrlUncond, 1},
-    {"jsr",    OpClass::CtrlUncond, 1},
-    {"ret",    OpClass::CtrlUncond, 1},
-    {"halt",   OpClass::IntAlu,     1},
-}};
 
 std::string
 regName(RegId r)
@@ -62,15 +17,6 @@ regName(RegId r)
 }
 
 } // namespace
-
-const OpTraits &
-opTraits(Opcode op)
-{
-    const auto idx = static_cast<std::size_t>(op);
-    if (idx >= kTraits.size())
-        DRSIM_PANIC("bad opcode ", idx);
-    return kTraits[idx];
-}
 
 std::string
 disassemble(const Instruction &inst)

@@ -11,6 +11,7 @@
 #ifndef DRSIM_ISA_INSTRUCTION_HH
 #define DRSIM_ISA_INSTRUCTION_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -81,8 +82,74 @@ struct OpTraits
     int latency;
 };
 
-/** Traits lookup. */
-const OpTraits &opTraits(Opcode op);
+namespace detail {
+
+/**
+ * Latency table per Section 2.1 of the paper: integer units are
+ * single-cycle except the fully pipelined 6-cycle multiplier; FP units
+ * are 3-cycle fully pipelined except the unpipelined divider (8 cycles
+ * single precision, 16 cycles double precision); stores resolve in one
+ * cycle; loads get their latency from the data cache.
+ */
+inline constexpr std::array<OpTraits, kNumOpcodes> kOpTraits = {{
+    {"add",    OpClass::IntAlu,     1},
+    {"sub",    OpClass::IntAlu,     1},
+    {"and",    OpClass::IntAlu,     1},
+    {"or",     OpClass::IntAlu,     1},
+    {"xor",    OpClass::IntAlu,     1},
+    {"sll",    OpClass::IntAlu,     1},
+    {"srl",    OpClass::IntAlu,     1},
+    {"cmplt",  OpClass::IntAlu,     1},
+    {"cmple",  OpClass::IntAlu,     1},
+    {"cmpeq",  OpClass::IntAlu,     1},
+    {"mul",    OpClass::IntMult,    6},
+    {"fadd",   OpClass::FpAdd,      3},
+    {"fsub",   OpClass::FpAdd,      3},
+    {"fmul",   OpClass::FpAdd,      3},
+    {"fcmplt", OpClass::FpAdd,      3},
+    {"itof",   OpClass::FpAdd,      3},
+    {"ftoi",   OpClass::FpAdd,      3},
+    {"fdivs",  OpClass::FpDiv,      8},
+    {"fdivd",  OpClass::FpDiv,      16},
+    {"fsqrt",  OpClass::FpDiv,      16},
+    {"ldq",    OpClass::MemLoad,    0},
+    {"ldt",    OpClass::MemLoad,    0},
+    {"stq",    OpClass::MemStore,   1},
+    {"stt",    OpClass::MemStore,   1},
+    {"beq",    OpClass::CtrlCond,   1},
+    {"bne",    OpClass::CtrlCond,   1},
+    {"fbeq",   OpClass::CtrlCond,   1},
+    {"fbne",   OpClass::CtrlCond,   1},
+    {"br",     OpClass::CtrlUncond, 1},
+    {"jsr",    OpClass::CtrlUncond, 1},
+    {"ret",    OpClass::CtrlUncond, 1},
+    {"halt",   OpClass::IntAlu,     1},
+}};
+
+} // namespace detail
+
+/**
+ * Traits lookup.  The scheduler consults this tens of times per cycle,
+ * so it must compile down to a single indexed load; out-of-range
+ * opcodes are ruled out up front by verifyProgram() (every simulation
+ * entry point runs it), not re-checked here.
+ */
+constexpr const OpTraits &
+opTraits(Opcode op)
+{
+    return detail::kOpTraits[static_cast<std::size_t>(op)];
+}
+
+/** The largest fixed execution latency in the opcode table (loads are
+ *  cache-determined and excluded).  Sizes the completion event ring. */
+constexpr int
+maxOpLatency()
+{
+    int m = 0;
+    for (const OpTraits &t : detail::kOpTraits)
+        m = m > t.latency ? m : t.latency;
+    return m;
+}
 
 /** Convenience: the functional-unit class of an opcode. */
 inline OpClass opClassOf(Opcode op) { return opTraits(op).cls; }

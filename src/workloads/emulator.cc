@@ -48,8 +48,19 @@ Emulator::Emulator(const Program *external,
       prog_(external != nullptr ? *external : *ownedProg_)
 {
     loc_ = prog_.entry();
-    for (const auto &[addr, word] : prog_.initialWords())
-        mem_[addr] = word;
+    // Round the segment bound up to the 8-byte word grid canonical()
+    // snaps addresses to, so the last partially-covered word is dense.
+    dataLimit_ = (prog_.dataLimit() + 7) & ~Addr{7};
+    data_.assign(std::size_t((dataLimit_ - kDataBase) / 8), 0);
+    for (const auto &[addr, word] : prog_.initialWords()) {
+        // Reads always canonicalize, so only canonical addresses may
+        // land in the dense segment; a non-canonical initial address
+        // stays in the map, unreachable, exactly as before.
+        if (canonical(addr) == addr)
+            rawWriteMem(addr, word);
+        else
+            mem_[addr] = word;
+    }
 }
 
 Addr
@@ -93,7 +104,10 @@ Emulator::fpRegValue(int idx) const
 std::uint64_t
 Emulator::memWord(Addr addr) const
 {
-    const auto it = mem_.find(canonical(addr));
+    addr = canonical(addr);
+    if (inDataSegment(addr))
+        return data_[std::size_t((addr - kDataBase) / 8)];
+    const auto it = mem_.find(addr);
     return it == mem_.end() ? 0 : it->second;
 }
 
@@ -125,10 +139,26 @@ void
 Emulator::writeMem(Addr addr, std::uint64_t bits)
 {
     addr = canonical(addr);
+    if (inDataSegment(addr)) {
+        std::uint64_t &slot = data_[std::size_t((addr - kDataBase) / 8)];
+        if (!liveMarks_.empty())
+            undo_.push_back({UndoEntry::Kind::Mem, 0, addr, slot});
+        slot = bits;
+        return;
+    }
     auto [it, inserted] = mem_.try_emplace(addr, 0);
     if (!liveMarks_.empty())
         undo_.push_back({UndoEntry::Kind::Mem, 0, addr, it->second});
     it->second = bits;
+}
+
+void
+Emulator::rawWriteMem(Addr addr, std::uint64_t bits)
+{
+    if (inDataSegment(addr))
+        data_[std::size_t((addr - kDataBase) / 8)] = bits;
+    else
+        mem_[addr] = bits;
 }
 
 StepInfo
@@ -395,7 +425,7 @@ Emulator::rollbackTo(EmuCheckpoint cp, Addr resume_pc)
             fpRegs_[e.regIndex] = std::bit_cast<double>(e.oldBits);
             break;
           case UndoEntry::Kind::Mem:
-            mem_[e.addr] = e.oldBits;
+            rawWriteMem(e.addr, e.oldBits);
             break;
         }
     }
@@ -413,10 +443,17 @@ Emulator::stateHash() const
         h ^= mix64(std::bit_cast<std::uint64_t>(fpRegs_[i]) +
                    std::uint64_t(i) * 0xabcd);
     }
-    // Memory digest must be order-independent (unordered_map).
-    // Zero words are skipped: unmapped memory reads as zero, so a
-    // zero-valued entry (e.g. left by a rolled-back wrong-path store
-    // to a fresh address) is semantically absent.
+    // Memory digest must be order-independent (dense segment plus
+    // unordered_map overflow).  Zero words are skipped: unmapped
+    // memory reads as zero, so a zero-valued entry (e.g. left by a
+    // rolled-back wrong-path store to a fresh address) is
+    // semantically absent.
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if (data_[i] != 0) {
+            const Addr addr = kDataBase + Addr(i) * 8;
+            h ^= mix64(addr * 0x9e3779b97f4a7c15ull ^ mix64(data_[i]));
+        }
+    }
     for (const auto &[addr, word] : mem_) {
         if (word != 0)
             h ^= mix64(addr * 0x9e3779b97f4a7c15ull ^ mix64(word));

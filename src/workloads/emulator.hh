@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 #include "workloads/program.hh"
@@ -135,6 +136,13 @@ class Emulator
     void writeInt(int idx, std::uint64_t bits);
     void writeFp(int idx, double value);
     void writeMem(Addr addr, std::uint64_t bits);
+    /** Store without undo logging (rollback replay). */
+    void rawWriteMem(Addr addr, std::uint64_t bits);
+    bool
+    inDataSegment(Addr addr) const
+    {
+        return addr >= kDataBase && addr < dataLimit_;
+    }
     void pruneUndo();
 
     /** Set only by the owning constructor. */
@@ -143,6 +151,14 @@ class Emulator
     CodeLoc loc_;
     std::array<std::uint64_t, kNumVirtualRegs> intRegs_{};
     std::array<double, kNumVirtualRegs> fpRegs_{};
+    /**
+     * Data-segment words, indexed by (addr - kDataBase) / 8.  The
+     * kernels' memory traffic is overwhelmingly to the bump-allocated
+     * segment [kDataBase, dataLimit()), so it gets a flat array; only
+     * wrong-path garbage addresses fall through to the hash map.
+     */
+    std::vector<std::uint64_t> data_;
+    Addr dataLimit_ = kDataBase;
     std::unordered_map<Addr, std::uint64_t> mem_;
     std::uint64_t steps_ = 0;
 

@@ -44,12 +44,6 @@ Program::finalize()
     finalized_ = true;
 }
 
-Addr
-Program::pcOf(CodeLoc loc) const
-{
-    return blocks_[loc.block].startPc + Addr(loc.offset) * kInstBytes;
-}
-
 CodeLoc
 Program::locOf(Addr pc) const
 {
@@ -59,12 +53,6 @@ Program::locOf(Addr pc) const
     if (slot >= pcTable_.size())
         return {};
     return pcTable_[slot];
-}
-
-const Instruction &
-Program::instAt(CodeLoc loc) const
-{
-    return blocks_[loc.block].insts[loc.offset];
 }
 
 CodeLoc
@@ -79,11 +67,8 @@ Program::blockEntryResolved(int block) const
 }
 
 CodeLoc
-Program::nextLoc(CodeLoc loc) const
+Program::nextLocSlow(CodeLoc loc) const
 {
-    const auto &bb = blocks_[loc.block];
-    if (loc.offset + 1 < std::int32_t(bb.insts.size()))
-        return {loc.block, loc.offset + 1};
     // Fall through to the next non-empty block.
     for (int b = loc.block + 1; b < int(blocks_.size()); ++b)
         if (!blocks_[b].insts.empty())

@@ -70,20 +70,38 @@ class Program
     /** Entry point. */
     CodeLoc entry() const { return {entryBlock_, 0}; }
 
-    /** PC of the instruction at @p loc. */
-    Addr pcOf(CodeLoc loc) const;
+    /** PC of the instruction at @p loc.  On the fetch/emulate fast
+     *  path (several calls per simulated cycle), hence inline. */
+    Addr
+    pcOf(CodeLoc loc) const
+    {
+        return blocks_[std::size_t(loc.block)].startPc +
+               Addr(loc.offset) * kInstBytes;
+    }
 
     /** Location for @p pc; invalid CodeLoc if pc is not code. */
     CodeLoc locOf(Addr pc) const;
 
     /** Instruction at @p loc (must be valid). */
-    const Instruction &instAt(CodeLoc loc) const;
+    const Instruction &
+    instAt(CodeLoc loc) const
+    {
+        return blocks_[std::size_t(loc.block)]
+            .insts[std::size_t(loc.offset)];
+    }
 
     /**
      * Location following @p loc in layout order (fallthrough);
      * invalid if @p loc was the last instruction of the last block.
      */
-    CodeLoc nextLoc(CodeLoc loc) const;
+    CodeLoc
+    nextLoc(CodeLoc loc) const
+    {
+        const auto &bb = blocks_[std::size_t(loc.block)];
+        if (loc.offset + 1 < std::int32_t(bb.insts.size()))
+            return {loc.block, loc.offset + 1};
+        return nextLocSlow(loc);
+    }
 
     /** First location of block @p block. */
     CodeLoc blockEntry(int block) const { return {block, 0}; }
@@ -115,6 +133,9 @@ class Program
 
   private:
     friend class ProgramBuilder;
+
+    /** Cross-block fallthrough (skips empty blocks). */
+    CodeLoc nextLocSlow(CodeLoc loc) const;
 
     std::string name_;
     std::vector<BasicBlock> blocks_;

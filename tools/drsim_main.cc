@@ -121,6 +121,7 @@ main(int argc, char **argv)
     bool no_forwarding = false;
     bool no_spec_history = false;
     bool perfect_icache = false;
+    std::string scheduler = "event";
     std::string trace_file;
 
     OptionParser p;
@@ -150,6 +151,9 @@ main(int argc, char **argv)
               "update predictor history at execute, not insert");
     p.addFlag("perfect-icache", &perfect_icache,
               "model every instruction fetch as a hit");
+    p.addString("scheduler", &scheduler,
+                "issue scheduler: event|scan (statistics are "
+                "identical; scan is the slow reference path)");
     p.addString("trace", &trace_file,
                 "write a per-instruction pipeline trace to this file");
 
@@ -193,6 +197,11 @@ main(int argc, char **argv)
         cfg.storeToLoadForwarding = !no_forwarding;
         cfg.speculativeHistoryUpdate = !no_spec_history;
         cfg.perfectICache = perfect_icache;
+        if (scheduler == "scan") {
+            cfg.scanScheduler = true;
+        } else if (scheduler != "event") {
+            fatal("unknown scheduler '", scheduler, "'");
+        }
 
         bool fp_intensive = false;
         const Program prog = resolveWorkload(
