@@ -1,122 +1,14 @@
 /**
  * @file
- * Ablation studies of the machine-model design choices the paper
- * makes (and in two cases explicitly discusses):
- *
- *  1. out-of-order vs in-order conditional-branch execution — the
- *     paper: "branch prediction accuracy did improve somewhat with
- *     in-order execution of conditional branches, [but] at the
- *     expense of a notable decrease in the commit IPC.  Hence, we
- *     allow branches to execute out of order."
- *  2. speculative (insert-time) vs execute-time global-history
- *     update — the paper updates speculatively and repairs on
- *     mispredicts so fetch can exploit already-identified patterns.
- *  3. store-to-load forwarding from the non-merging store buffer
- *     on/off.
- *
- * Also prints mean register lifetimes under both exception models,
- * quantifying the paper's Section 3.2 sentence: "under the imprecise
- * model, on average, registers are live for shorter amounts of time."
+ * Thin wrapper preserving the legacy `bench/ablations` binary; the
+ * experiment itself is registered in the experiment registry
+ * (src/exp) and equally runnable as `drsim_bench ablations`.
  */
 
-#include "bench/bench_util.hh"
-
-using namespace drsim;
-using namespace drsim::bench;
-
-namespace {
-
-struct Variant
-{
-    const char *name;
-    void (*apply)(CoreConfig &);
-};
-
-const Variant kVariants[] = {
-    {"baseline (paper model)", [](CoreConfig &) {}},
-    {"in-order branches",
-     [](CoreConfig &c) { c.inOrderBranches = true; }},
-    {"execute-time bpred history",
-     [](CoreConfig &c) { c.speculativeHistoryUpdate = false; }},
-    {"no store->load forwarding",
-     [](CoreConfig &c) { c.storeToLoadForwarding = false; }},
-    {"split dispatch queues",
-     [](CoreConfig &c) { c.splitDispatchQueues = true; }},
-};
-
-} // namespace
+#include "exp/registry.hh"
 
 int
 main()
 {
-    banner("Ablations: machine-model design choices "
-           "(paper Sections 2-3)");
-    const int scale = suiteScale();
-    const std::uint64_t cap = maxCommitted(0);
-    const auto suite = buildSpec92Suite(scale);
-
-    std::printf("\n4-way issue, DQ=32, 128 registers, lockup-free "
-                "cache\n");
-    std::printf("%-28s %7s %7s %9s\n", "variant", "issIPC", "cmtIPC",
-                "mispred%");
-    std::vector<ExperimentSpec> specs;
-    for (const Variant &v : kVariants) {
-        CoreConfig cfg = paperConfig(4, 128);
-        v.apply(cfg);
-        cfg.maxCommitted = cap;
-        specs.push_back({v.name, cfg});
-    }
-    auto results = runExperiments(specs, suite);
-    for (const ExperimentResult &er : results) {
-        const SuiteResult &res = er.suite;
-        double mispred = 0.0;
-        for (const auto &r : res.runs())
-            mispred += r.mispredictRate();
-        mispred /= double(res.runs().size());
-        std::printf("%-28s %7.2f %7.2f %8.1f%%\n",
-                    er.spec.name.c_str(), res.avgIssueIpc(),
-                    res.avgCommitIpc(), 100.0 * mispred);
-    }
-    std::printf("expected: in-order branches trade prediction "
-                "accuracy against IPC (the paper kept\nout-of-order "
-                "execution); execute-time history raises "
-                "mispredict%%; splitting the\nqueue 2:1:1 costs IPC "
-                "on unbalanced mixes (the paper kept one unified "
-                "queue).\n");
-
-    // Register lifetimes under the two exception models.
-    std::vector<ExperimentSpec> lifetime_specs;
-    for (const auto model :
-         {ExceptionModel::Precise, ExceptionModel::Imprecise}) {
-        CoreConfig cfg = paperConfig(4, 80, model);
-        cfg.maxCommitted = cap;
-        lifetime_specs.push_back(
-            {std::string("lifetime-") + exceptionModelName(model) +
-                 "-r80",
-             cfg});
-    }
-    auto lifetimes = runExperiments(lifetime_specs, suite);
-
-    std::printf("\nmean integer-register lifetime (cycles from "
-                "allocation to free), 80 registers:\n");
-    std::printf("%-10s %10s %10s\n", "bench", "precise", "imprecise");
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        const auto mean_of = [&](const ExperimentResult &er) {
-            return er.suite.runs()[i]
-                .lifetime[int(RegClass::Int)]
-                .mean();
-        };
-        std::printf("%-10s %10.1f %10.1f\n",
-                    suite[i].spec->name.c_str(), mean_of(lifetimes[0]),
-                    mean_of(lifetimes[1]));
-    }
-    std::printf("expected: imprecise lifetimes shorter everywhere "
-                "(paper Section 3.2).\n");
-
-    // One artifact covering both sections of the study.
-    for (auto &er : lifetimes)
-        results.push_back(std::move(er));
-    printStallSummary(results);
-    emitResults("ablations", results, cap);
-    return 0;
+    return drsim::exp::runExperimentByName("ablations");
 }

@@ -1,60 +1,14 @@
 /**
  * @file
- * Extension: the paper's register-file sizing conclusion, cross-
- * checked on an independent workload population — the classic-kernel
- * family (daxpy, sieve, queens, wordcopy, whet), real algorithms with
- * verifiable outputs rather than SPEC92-signature-tuned kernels.
- *
- * If the paper's story is about the *machine* and not about SPEC92,
- * the same shape must appear here: IPC saturating at a moderate
- * register count, the imprecise model mattering only below it.
+ * Thin wrapper preserving the legacy `bench/ext_classic` binary; the
+ * experiment itself is registered in the experiment registry
+ * (src/exp) and equally runnable as `drsim_bench ext_classic`.
  */
 
-#include "bench/bench_util.hh"
-#include "workloads/classic.hh"
-
-using namespace drsim;
-using namespace drsim::bench;
+#include "exp/registry.hh"
 
 int
 main()
 {
-    banner("Extension: register sizing on the classic-kernel family");
-    const auto classic = buildClassicSuite();
-
-    std::printf("\nper-kernel commit IPC, 4-way, DQ=32, lockup-free\n");
-    std::printf("%9s |", "");
-    for (const auto &[name, prog] : classic)
-        std::printf(" %9s", name.c_str());
-    std::printf(" | %7s\n", "average");
-    for (const int regs : {32, 48, 64, 80, 96, 128, 256}) {
-        std::printf("%4d regs |", regs);
-        double sum = 0.0;
-        for (const auto &[name, prog] : classic) {
-            CoreConfig cfg = paperConfig(4, regs);
-            const SimResult r = simulateProgram(cfg, prog);
-            std::printf(" %9.2f", r.commitIpc());
-            sum += r.commitIpc();
-        }
-        std::printf(" | %7.2f\n", sum / double(classic.size()));
-    }
-
-    std::printf("\nprecise vs imprecise at the pressure point "
-                "(48 regs):\n");
-    for (const auto &[name, prog] : classic) {
-        double ipc[2];
-        int m = 0;
-        for (const auto model : {ExceptionModel::Precise,
-                                 ExceptionModel::Imprecise}) {
-            CoreConfig cfg = paperConfig(4, 48, model);
-            ipc[m++] = simulateProgram(cfg, prog).commitIpc();
-        }
-        std::printf("%-9s precise %5.2f  imprecise %5.2f  (%+5.1f%%)\n",
-                    name.c_str(), ipc[0], ipc[1],
-                    100.0 * (ipc[1] / ipc[0] - 1.0));
-    }
-    std::printf("\nexpected: the same saturation shape as Figure 6 on "
-                "workloads the paper never saw,\nwith the imprecise "
-                "advantage confined to the small-file regime.\n");
-    return 0;
+    return drsim::exp::runExperimentByName("ext_classic");
 }

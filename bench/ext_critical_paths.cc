@@ -1,61 +1,14 @@
 /**
  * @file
- * Extension: the paper's Section 3.4 assumption, checked.
- *
- * "The implementation size and complexity of these structures [the
- *  dispatch queue, the register renaming unit, and the register file]
- *  tend to scale together ... we assume the register file cycle time
- *  scales similarly to their cycle times, and therefore to that of
- *  the machine as a whole."
- *
- * This harness prints all three structures' modeled cycle times at
- * the paper's design points (issue width paired with its
- * cost-effective dispatch-queue size and sweeping the register
- * count), and the ratio of each structure to the register file —
- * roughly flat ratios mean the assumption holds within these models.
+ * Thin wrapper preserving the legacy `bench/ext_critical_paths` binary; the
+ * experiment itself is registered in the experiment registry
+ * (src/exp) and equally runnable as `drsim_bench ext_critical_paths`.
  */
 
-#include <cstdio>
-#include <initializer_list>
-
-#include "timing/regfile_timing.hh"
-#include "timing/structures.hh"
+#include "exp/registry.hh"
 
 int
 main()
 {
-    using namespace drsim;
-
-    std::printf("==========================================================="
-                "===\n"
-                "Critical-path structures vs the register file "
-                "(paper Section 3.4)\n"
-                "============================================================"
-                "==\n");
-    std::printf("\n%5s %5s %5s | %8s %8s %8s | %7s %7s\n", "width",
-                "DQ", "regs", "RF(ns)", "DQ(ns)", "REN(ns)", "DQ/RF",
-                "REN/RF");
-    for (const int width : {4, 8}) {
-        const int dq = width == 4 ? 32 : 64;
-        for (const int regs : {48, 80, 128, 256}) {
-            const double rf =
-                regFileTiming(intRegFileGeometry(width, regs)).cycleNs;
-            const double dqt =
-                dispatchQueueTiming({dq, width, 8}).cycleNs;
-            const double ren =
-                renameTiming({regs, width, 32}).cycleNs;
-            std::printf("%5d %5d %5d | %8.3f %8.3f %8.3f | %7.2f "
-                        "%7.2f\n",
-                        width, dq, regs, rf, dqt, ren, dqt / rf,
-                        ren / rf);
-        }
-    }
-    std::printf("\nexpected: going from the 4-way to the 8-way design "
-                "point slows all three\nstructures together (ratios "
-                "stay in a narrow band), supporting the paper's\n"
-                "machine-cycle-time scaling assumption; the dispatch "
-                "queue's wakeup wire grows\nwith its entry count just "
-                "as the register file's bitline grows with "
-                "registers.\n");
-    return 0;
+    return drsim::exp::runExperimentByName("ext_critical_paths");
 }

@@ -1,66 +1,14 @@
 /**
  * @file
- * Extension: bounded MSHRs.  The paper's lockup-free cache uses an
- * inverted MSHR organization supporting as many outstanding misses as
- * there are destination registers; real designs bound them.  Sweeping
- * the bound from 1 upward walks the design space from (almost) the
- * blocking cache to the paper's organization — the complexity/
- * performance tradeoff of the authors' own earlier non-blocking-loads
- * paper [Farkas & Jouppi, ISCA 1994].
+ * Thin wrapper preserving the legacy `bench/ext_mshr` binary; the
+ * experiment itself is registered in the experiment registry
+ * (src/exp) and equally runnable as `drsim_bench ext_mshr`.
  */
 
-#include "bench/bench_util.hh"
-
-using namespace drsim;
-using namespace drsim::bench;
+#include "exp/registry.hh"
 
 int
 main()
 {
-    banner("Extension: lockup-free cache with bounded MSHRs");
-    const int scale = suiteScale();
-    const std::uint64_t cap = maxCommitted(0);
-    const auto suite = buildSpec92Suite(scale);
-
-    for (const int width : {4, 8}) {
-        std::printf("\n--- %d-way issue, DQ=%d, 128 registers ---\n",
-                    width, width == 4 ? 32 : 64);
-        std::printf("%10s %7s %14s\n", "MSHRs", "cmtIPC",
-                    "rejections");
-
-        // The blocking cache as the floor of the design space.
-        {
-            CoreConfig cfg = paperConfig(width, 128,
-                                         ExceptionModel::Precise,
-                                         CacheKind::Lockup);
-            cfg.maxCommitted = cap;
-            const SuiteResult res = runSuite(cfg, suite);
-            std::printf("%10s %7.2f %14s\n", "(lockup)",
-                        res.avgCommitIpc(), "-");
-        }
-        for (const std::uint32_t mshrs : {1u, 2u, 4u, 8u, 16u, 0u}) {
-            CoreConfig cfg = paperConfig(width, 128);
-            cfg.dcache.maxOutstandingMisses = mshrs;
-            cfg.maxCommitted = cap;
-            const SuiteResult res = runSuite(cfg, suite);
-            std::uint64_t rejections = 0;
-            for (const auto &r : res.runs())
-                rejections += r.dcache.mshrRejections;
-            if (mshrs == 0) {
-                std::printf("%10s %7.2f %14llu\n", "unlimited",
-                            res.avgCommitIpc(),
-                            (unsigned long long)rejections);
-            } else {
-                std::printf("%10u %7.2f %14llu\n", mshrs,
-                            res.avgCommitIpc(),
-                            (unsigned long long)rejections);
-            }
-        }
-    }
-    std::printf("\nexpected: IPC climbs steeply from 1 MSHR and "
-                "saturates within a few entries —\nmost of the "
-                "paper's 'aggressive non-blocking' benefit comes from "
-                "a handful of\noutstanding misses; rejections fall to "
-                "zero as the bound rises.\n");
-    return 0;
+    return drsim::exp::runExperimentByName("ext_mshr");
 }

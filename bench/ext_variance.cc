@@ -1,80 +1,14 @@
 /**
  * @file
- * Extension: run-to-run variation.  The paper reports single numbers
- * per benchmark; our synthetic kernels make it cheap to re-run each
- * one over several *data* seeds (same program structure, different
- * random table contents / coordinates / branch-driving words) and ask
- * how stable the Table-1 signature actually is — an error bar for
- * every rate quoted in EXPERIMENTS.md.
+ * Thin wrapper preserving the legacy `bench/ext_variance` binary; the
+ * experiment itself is registered in the experiment registry
+ * (src/exp) and equally runnable as `drsim_bench ext_variance`.
  */
 
-#include <algorithm>
-#include <cmath>
-#include <vector>
-
-#include "bench/bench_util.hh"
-
-using namespace drsim;
-using namespace drsim::bench;
-
-namespace {
-
-struct Series
-{
-    std::vector<double> v;
-    void add(double x) { v.push_back(x); }
-    double
-    mean() const
-    {
-        double s = 0;
-        for (double x : v)
-            s += x;
-        return s / double(v.size());
-    }
-    double
-    spread() const
-    {
-        const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
-        return *hi - *lo;
-    }
-};
-
-} // namespace
+#include "exp/registry.hh"
 
 int
 main()
 {
-    banner("Extension: run-to-run variation over data seeds");
-    const int scale = suiteScale();
-    const std::uint64_t cap = maxCommitted(0);
-    constexpr int kSeeds = 5;
-
-    std::printf("\n4-way, DQ=32, 2048 regs, lockup-free; %d data "
-                "seeds per benchmark\n",
-                kSeeds);
-    std::printf("%-10s | %6s %7s | %6s %7s | %6s %7s\n", "bench",
-                "IPC", "+/-", "miss%", "+/-", "cbr%", "+/-");
-    for (const auto &spec : spec92Specs()) {
-        Series ipc, miss, cbr;
-        for (int seed = 0; seed < kSeeds; ++seed) {
-            const Workload w =
-                buildWorkload(spec.name, scale, std::uint64_t(seed));
-            CoreConfig cfg = paperConfig(4, 2048);
-            cfg.maxCommitted = cap;
-            const SimResult r = simulate(cfg, w);
-            ipc.add(r.commitIpc());
-            miss.add(100.0 * r.loadMissRate);
-            cbr.add(100.0 * r.mispredictRate());
-        }
-        std::printf("%-10s | %6.2f %7.2f | %6.1f %7.1f | %6.1f "
-                    "%7.1f\n",
-                    spec.name.c_str(), ipc.mean(), ipc.spread() / 2,
-                    miss.mean(), miss.spread() / 2, cbr.mean(),
-                    cbr.spread() / 2);
-    }
-    std::printf("\nexpected: spreads well under the kernel-to-paper "
-                "differences recorded in\nEXPERIMENTS.md — the "
-                "signatures are properties of the kernels, not of one "
-                "lucky seed.\n");
-    return 0;
+    return drsim::exp::runExperimentByName("ext_variance");
 }

@@ -1,60 +1,14 @@
 /**
  * @file
- * Extension: a finite write buffer.  The paper assumes retiring
- * stores consume no memory bandwidth and never stall ("this
- * assumption prevents any stalls due to a full write buffer").  This
- * harness quantifies what that assumption is worth: entries drain at
- * a fixed rate, and a committing store stalls commit while the buffer
- * is full, which backs pressure into the window and the register
- * files.
+ * Thin wrapper preserving the legacy `bench/ext_writebuffer` binary; the
+ * experiment itself is registered in the experiment registry
+ * (src/exp) and equally runnable as `drsim_bench ext_writebuffer`.
  */
 
-#include "bench/bench_util.hh"
-
-using namespace drsim;
-using namespace drsim::bench;
+#include "exp/registry.hh"
 
 int
 main()
 {
-    banner("Extension: finite write buffer (the paper assumes an "
-           "infinite, free one)");
-    const int scale = suiteScale();
-    const std::uint64_t cap = maxCommitted(0);
-    const auto suite = buildSpec92Suite(scale);
-
-    for (const Cycle drain : {8, 4}) {
-        std::printf("\n--- 4-way, DQ=32, 128 regs, one store drains "
-                    "every %llu cycles ---\n",
-                    (unsigned long long)drain);
-        std::printf("%10s %7s %12s %14s\n", "entries", "cmtIPC",
-                    "stall cyc", "p90 live int");
-        for (const std::uint32_t entries : {1u, 2u, 4u, 8u, 16u, 0u}) {
-            CoreConfig cfg = paperConfig(4, 128);
-            cfg.dcache.writeBufferEntries = entries;
-            cfg.dcache.writeBufferDrainCycles = drain;
-            cfg.maxCommitted = cap;
-            const SuiteResult res = runSuite(cfg, suite);
-            std::uint64_t stalls = 0;
-            for (const auto &r : res.runs())
-                stalls += r.proc.writeBufferStallCycles;
-            const auto p90 = res.livePercentile(
-                RegClass::Int, LiveLevel::PreciseLive, 0.9);
-            if (entries == 0) {
-                std::printf("%10s %7.2f %12s %14llu\n",
-                            "unlimited", res.avgCommitIpc(), "-",
-                            (unsigned long long)p90);
-            } else {
-                std::printf("%10u %7.2f %12llu %14llu\n", entries,
-                            res.avgCommitIpc(),
-                            (unsigned long long)stalls,
-                            (unsigned long long)p90);
-            }
-        }
-    }
-    std::printf("\nexpected: with a fast drain the paper's "
-                "assumption is nearly free beyond a few\nentries; "
-                "with a slow drain, small buffers stall commit and "
-                "keep more registers live.\n");
-    return 0;
+    return drsim::exp::runExperimentByName("ext_writebuffer");
 }

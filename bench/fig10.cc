@@ -1,76 +1,14 @@
 /**
  * @file
- * Reproduces **Figure 10** of the paper: register-file cycle times
- * (integer and floating-point files) and the resulting machine
- * performance estimate in BIPS — commit IPC divided by the integer
- * register file's cycle time, assuming the machine cycle time scales
- * with the register file's (paper Section 3.4).
- *
- * Expected shape: fp files are always faster than int files (half the
- * ports); cycle time grows slowly with registers and strongly with
- * ports; each BIPS curve has an interior maximum (IPC saturates while
- * cycle time keeps growing); the best 8-way BIPS exceeds the best
- * 4-way BIPS by only ~20%.
+ * Thin wrapper preserving the legacy `bench/fig10` binary; the
+ * experiment itself is registered in the experiment registry
+ * (src/exp) and equally runnable as `drsim_bench fig10`.
  */
 
-#include <algorithm>
-
-#include "bench/bench_util.hh"
-#include "timing/regfile_timing.hh"
-
-using namespace drsim;
-using namespace drsim::bench;
+#include "exp/registry.hh"
 
 int
 main()
 {
-    banner("Figure 10: register file timing and estimated machine "
-           "BIPS");
-    const int scale = suiteScale();
-    const std::uint64_t cap = maxCommitted(0);
-    const auto suite = buildSpec92Suite(scale);
-
-    double best_bips[2] = {0.0, 0.0};
-    int wi = 0;
-    for (const int width : {4, 8}) {
-        std::printf("\n--- %d-way issue, DQ=%d ---\n", width,
-                    width == 4 ? 32 : 64);
-        std::printf("%5s | %8s %8s | %10s %10s | %10s %10s\n", "regs",
-                    "tInt(ns)", "tFp(ns)", "IPC(prec)", "IPC(impr)",
-                    "BIPS(prec)", "BIPS(impr)");
-        for (const int regs : {32, 48, 64, 80, 96, 128, 160, 256}) {
-            const double t_int =
-                regFileTiming(intRegFileGeometry(width, regs)).cycleNs;
-            const double t_fp =
-                regFileTiming(fpRegFileGeometry(width, regs)).cycleNs;
-            double ipc[2];
-            int m = 0;
-            for (const auto model : {ExceptionModel::Precise,
-                                     ExceptionModel::Imprecise}) {
-                CoreConfig cfg = paperConfig(width, regs, model);
-                cfg.maxCommitted = cap;
-                ipc[m++] = runSuite(cfg, suite).avgCommitIpc();
-            }
-            const double bips_p = bipsEstimate(ipc[0], t_int);
-            const double bips_i = bipsEstimate(ipc[1], t_int);
-            best_bips[wi] =
-                std::max({best_bips[wi], bips_p, bips_i});
-            std::printf("%5d | %8.3f %8.3f | %10.2f %10.2f | %10.2f "
-                        "%10.2f\n",
-                        regs, t_int, t_fp, ipc[0], ipc[1], bips_p,
-                        bips_i);
-        }
-        ++wi;
-    }
-    std::printf("\nbest BIPS: 4-way %.2f, 8-way %.2f -> 8-way gain "
-                "%.0f%%\n",
-                best_bips[0], best_bips[1],
-                100.0 * (best_bips[1] / best_bips[0] - 1.0));
-    std::printf("paper reference: both widths peak at moderate "
-                "register counts; the models differ only\nat small "
-                "files (converging past ~80/160 regs); the 8-way "
-                "machine's best BIPS is only ~20%%\nabove the "
-                "4-way's because its register file cycle time is so "
-                "much longer.\n");
-    return 0;
+    return drsim::exp::runExperimentByName("fig10");
 }

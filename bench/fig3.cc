@@ -1,72 +1,14 @@
 /**
  * @file
- * Reproduces **Figure 3** of the paper: average issue/commit IPC and
- * the 90th-percentile number of live registers as a function of the
- * dispatch-queue size (8..256), for both issue widths and both
- * register files, with the live registers broken into the paper's
- * four categories (in-flight / in dispatch queue / waiting imprecise
- * requirements / waiting precise requirements).
- *
- * Machine: 2048 registers per file (so register stalls are absent),
- * lockup-free baseline cache, precise exceptions with the shadow
- * imprecise estimation (the paper's Figure-2 machine box).
- *
- * Expected shape: issue IPC approaches the issue width as the queue
- * grows; commit IPC saturates near DQ=32 (4-way) / DQ=64 (8-way);
- * live registers keep growing with the queue, with the
- * waiting-imprecise region growing fastest.
+ * Thin wrapper preserving the legacy `bench/fig3` binary; the
+ * experiment itself is registered in the experiment registry
+ * (src/exp) and equally runnable as `drsim_bench fig3`.
  */
 
-#include "bench/bench_util.hh"
-
-using namespace drsim;
-using namespace drsim::bench;
+#include "exp/registry.hh"
 
 int
 main()
 {
-    banner("Figure 3: IPC and 90th-pct live registers vs "
-           "dispatch-queue size");
-    const int scale = suiteScale();
-    const std::uint64_t cap = maxCommitted(0);
-    const auto suite = buildSpec92Suite(scale);
-
-    for (const int width : {4, 8}) {
-        std::printf("\n--- %d-way issue, 2048 registers ---\n", width);
-        std::printf("%5s %6s %6s | %28s | %28s\n", "DQ", "issIPC",
-                    "cmtIPC", "int regs (90th pct, nested)",
-                    "fp regs (90th pct, nested)");
-        std::printf("%5s %6s %6s | %6s %6s %6s %6s | %6s %6s %6s "
-                    "%6s\n",
-                    "", "", "", "inflt", "+dq", "+impr", "+prec",
-                    "inflt", "+dq", "+impr", "+prec");
-        for (const int dq : {8, 16, 32, 64, 128, 256}) {
-            CoreConfig cfg = paperConfig(width, 2048);
-            cfg.dqSize = dq;
-            cfg.maxCommitted = cap;
-            const SuiteResult res = runSuite(cfg, suite);
-            std::printf("%5d %6.2f %6.2f |", dq, res.avgIssueIpc(),
-                        res.avgCommitIpc());
-            for (const RegClass cls : {RegClass::Int, RegClass::Fp}) {
-                for (const LiveLevel lvl :
-                     {LiveLevel::InFlight, LiveLevel::PlusQueue,
-                      LiveLevel::ImpreciseLive,
-                      LiveLevel::PreciseLive}) {
-                    std::printf(" %6llu",
-                                (unsigned long long)
-                                    res.livePercentile(cls, lvl, 0.9));
-                }
-                if (cls == RegClass::Int)
-                    std::printf(" |");
-            }
-            std::printf("\n");
-        }
-    }
-    std::printf(
-        "\npaper reference: 4-way issue IPC rises toward 4 and commit "
-        "IPC saturates near DQ=32;\n8-way saturates near DQ=64; the "
-        "+prec (total live) column grows steadily with DQ and the\n"
-        "imprecise-wait region grows faster than the precise-wait "
-        "region; fp totals floor at >=32.\n");
-    return 0;
+    return drsim::exp::runExperimentByName("fig3");
 }

@@ -1,77 +1,14 @@
 /**
  * @file
- * Reproduces **Figure 4** of the paper: average register-usage
- * run-time-coverage histograms under both exception models, for both
- * issue widths and both register files, with 2048 registers and the
- * lockup-free cache.
- *
- * The paper reads 90% coverage at ~90 registers for the 4-way machine
- * and ~150 for the 8-way machine (precise model), with the imprecise
- * curves shifted left (fewer registers live).
+ * Thin wrapper preserving the legacy `bench/fig4` binary; the
+ * experiment itself is registered in the experiment registry
+ * (src/exp) and equally runnable as `drsim_bench fig4`.
  */
 
-#include "bench/bench_util.hh"
-
-using namespace drsim;
-using namespace drsim::bench;
-
-namespace {
-
-/** Coverage-percentile table for one run. */
-void
-printCurve(const char *tag, const SuiteResult &res, RegClass cls,
-           LiveLevel lvl)
-{
-    std::printf("%-22s", tag);
-    for (const double frac : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95,
-                              0.99, 1.0}) {
-        std::printf(" %6llu",
-                    (unsigned long long)res.livePercentile(cls, lvl,
-                                                           frac));
-    }
-    std::printf("\n");
-}
-
-} // namespace
+#include "exp/registry.hh"
 
 int
 main()
 {
-    banner("Figure 4: average register-usage coverage, precise vs "
-           "imprecise");
-    const int scale = suiteScale();
-    const std::uint64_t cap = maxCommitted(0);
-    const auto suite = buildSpec92Suite(scale);
-
-    std::printf("rows give the register count covering X%% of run "
-                "time (averaged distributions)\n");
-    for (const int width : {4, 8}) {
-        std::printf("\n--- %d-way issue processor ---\n", width);
-        std::printf("%-22s %6s %6s %6s %6s %6s %6s %6s %6s\n", "curve",
-                    "10%", "25%", "50%", "75%", "90%", "95%", "99%",
-                    "100%");
-        for (const auto model :
-             {ExceptionModel::Precise, ExceptionModel::Imprecise}) {
-            CoreConfig cfg = paperConfig(width, 2048, model);
-            cfg.maxCommitted = cap;
-            const SuiteResult res = runSuite(cfg, suite);
-            // Under either model the run's own live total is the
-            // +prec level (in an imprecise run the precise-wait
-            // category is always empty, so the levels coincide).
-            char tag[64];
-            std::snprintf(tag, sizeof(tag), "int %s",
-                          exceptionModelName(model));
-            printCurve(tag, res, RegClass::Int,
-                       LiveLevel::PreciseLive);
-            std::snprintf(tag, sizeof(tag), "fp  %s",
-                          exceptionModelName(model));
-            printCurve(tag, res, RegClass::Fp, LiveLevel::PreciseLive);
-        }
-    }
-    std::printf("\npaper reference: 90%% coverage at ~90 registers "
-                "(4-way) and ~150 (8-way) under precise\nexceptions; "
-                "imprecise curves shifted toward zero; the imprecise "
-                "model cut average register\nneeds by up to ~20%% "
-                "(4-way) and ~37%% (8-way).\n");
-    return 0;
+    return drsim::exp::runExperimentByName("fig4");
 }

@@ -1,56 +1,14 @@
 /**
  * @file
- * Reproduces **Figure 5** of the paper: the impact of the exception
- * model on tomcatv's floating-point registers (8-way issue, 64-entry
- * dispatch queue, lockup-free cache, 2048 registers).
- *
- * The paper's precise-exception curve is bimodal — there are rarely
- * 150-400 registers live, but a second mode near ~450-500 appears
- * because a long-latency miss at the window head keeps hundreds of
- * later instructions (and their registers) uncommittable.  The
- * imprecise curve reaches full coverage at a far smaller count.
+ * Thin wrapper preserving the legacy `bench/fig5` binary; the
+ * experiment itself is registered in the experiment registry
+ * (src/exp) and equally runnable as `drsim_bench fig5`.
  */
 
-#include "bench/bench_util.hh"
-
-using namespace drsim;
-using namespace drsim::bench;
+#include "exp/registry.hh"
 
 int
 main()
 {
-    banner("Figure 5: tomcatv fp-register coverage, precise vs "
-           "imprecise (8-way)");
-    const int scale = suiteScale();
-    const std::uint64_t cap = maxCommitted(0);
-    const Workload w = buildWorkload("tomcatv", std::max(1, scale / 4));
-
-    std::vector<std::vector<double>> curves;
-    for (const auto model :
-         {ExceptionModel::Precise, ExceptionModel::Imprecise}) {
-        CoreConfig cfg = paperConfig(8, 2048, model);
-        cfg.maxCommitted = cap;
-        const SimResult res = simulate(cfg, w);
-        const auto density =
-            res.proc.live[int(RegClass::Fp)][int(
-                LiveLevel::PreciseLive)]
-                .normalized();
-        curves.push_back(coverageCurve(density));
-    }
-
-    std::printf("%-10s %10s %10s\n", "registers", "precise",
-                "imprecise");
-    const std::size_t len =
-        std::max(curves[0].size(), curves[1].size());
-    for (std::size_t r = 0; r < len + 20; r += 20) {
-        const auto at = [&](const std::vector<double> &c) {
-            return r < c.size() ? c[r] : 1.0;
-        };
-        std::printf("%-10zu %9.1f%% %9.1f%%\n", r,
-                    100.0 * at(curves[0]), 100.0 * at(curves[1]));
-    }
-    std::printf("\npaper reference: imprecise reaches 100%% coverage "
-                "near ~130 registers while precise\nneeds ~500, with "
-                "a flat (bimodal) stretch between ~150 and ~400.\n");
-    return 0;
+    return drsim::exp::runExperimentByName("fig5");
 }

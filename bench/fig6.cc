@@ -1,71 +1,14 @@
 /**
  * @file
- * Reproduces **Figure 6** of the paper: average commit IPC and the
- * percentage of run cycles with no free register, as the register
- * file size is varied with the dispatch queue held constant, for both
- * exception models and both issue widths (lockup-free cache).
- *
- * Expected shape: IPC rises with register count and saturates — near
- * ~80 registers for the 4-way machine and ~128 for the 8-way machine;
- * the imprecise model wins at small register files and the two models
- * converge once free registers are plentiful; the no-free-register
- * percentage collapses as the file grows.
+ * Thin wrapper preserving the legacy `bench/fig6` binary; the
+ * experiment itself is registered in the experiment registry
+ * (src/exp) and equally runnable as `drsim_bench fig6`.
  */
 
-#include "bench/bench_util.hh"
-
-using namespace drsim;
-using namespace drsim::bench;
+#include "exp/registry.hh"
 
 int
 main()
 {
-    banner("Figure 6: commit IPC and register-pressure vs register "
-           "file size");
-    const int scale = suiteScale();
-    const std::uint64_t cap = maxCommitted(0);
-    const auto suite = buildSpec92Suite(scale);
-
-    // One spec per (width, regs, model) point, in print order; the
-    // runner fans the whole sweep out over DRSIM_JOBS workers.
-    std::vector<ExperimentSpec> specs;
-    for (const int width : {4, 8}) {
-        for (const int regs : {32, 48, 64, 80, 96, 128, 160, 256}) {
-            for (const auto model : {ExceptionModel::Precise,
-                                     ExceptionModel::Imprecise}) {
-                CoreConfig cfg = paperConfig(width, regs, model);
-                cfg.maxCommitted = cap;
-                specs.push_back(
-                    {"w" + std::to_string(width) + "-" +
-                         exceptionModelName(model) + "-r" +
-                         std::to_string(regs),
-                     cfg});
-            }
-        }
-    }
-    const auto results = runExperiments(specs, suite);
-
-    std::size_t k = 0;
-    for (const int width : {4, 8}) {
-        std::printf("\n--- %d-way issue, DQ=%d ---\n", width,
-                    width == 4 ? 32 : 64);
-        std::printf("%5s | %8s %8s | %9s %9s\n", "regs", "IPC(prec)",
-                    "IPC(impr)", "nofree(p)", "nofree(i)");
-        for (const int regs : {32, 48, 64, 80, 96, 128, 160, 256}) {
-            const SuiteResult &prec = results[k++].suite;
-            const SuiteResult &impr = results[k++].suite;
-            std::printf("%5d | %8.2f %8.2f | %8.1f%% %8.1f%%\n", regs,
-                        prec.avgCommitIpc(), impr.avgCommitIpc(),
-                        prec.avgNoFreeRegPct(),
-                        impr.avgNoFreeRegPct());
-        }
-    }
-    std::printf("\npaper reference (4-way): IPC climbs from ~1.9 at "
-                "32 regs to ~2.4-2.5 saturating near 80;\n(8-way): "
-                "from ~2 to ~3.4-3.8 saturating near 128; imprecise "
-                ">= precise throughout, converging\nat large sizes; "
-                "no-free-register time falls from >50%% toward 0.\n");
-    printStallSummary(results);
-    emitResults("fig6", results, cap);
-    return 0;
+    return drsim::exp::runExperimentByName("fig6");
 }

@@ -1,85 +1,14 @@
 /**
  * @file
- * Reproduces **Figure 7** of the paper: average commit IPC for the
- * three data-cache organizations (perfect, lockup-free, lockup) as a
- * function of register file size, under (a) imprecise and (b) precise
- * exceptions, for both issue widths.
- *
- * Expected shape: the lockup (blocking) cache is far below the other
- * two at every size; the lockup-free cache tracks the perfect cache
- * closely (the paper's "aggressive non-blocking load support achieves
- * performance similar to a perfect memory system"); all curves
- * saturate at roughly the same register count for a given width and
- * model.
+ * Thin wrapper preserving the legacy `bench/fig7` binary; the
+ * experiment itself is registered in the experiment registry
+ * (src/exp) and equally runnable as `drsim_bench fig7`.
  */
 
-#include "bench/bench_util.hh"
-
-using namespace drsim;
-using namespace drsim::bench;
+#include "exp/registry.hh"
 
 int
 main()
 {
-    banner("Figure 7: commit IPC for three cache organizations vs "
-           "registers");
-    const int scale = suiteScale();
-    const std::uint64_t cap = maxCommitted(0);
-    const auto suite = buildSpec92Suite(scale);
-
-    const CacheKind kinds[3] = {CacheKind::Perfect,
-                                CacheKind::LockupFree,
-                                CacheKind::Lockup};
-
-    // One spec per (model, width, regs, kind) point, in print order.
-    std::vector<ExperimentSpec> specs;
-    for (const auto model :
-         {ExceptionModel::Imprecise, ExceptionModel::Precise}) {
-        for (const int width : {4, 8}) {
-            for (const int regs :
-                 {32, 48, 64, 80, 96, 128, 160, 256}) {
-                for (const CacheKind kind : kinds) {
-                    CoreConfig cfg =
-                        paperConfig(width, regs, model, kind);
-                    cfg.maxCommitted = cap;
-                    specs.push_back(
-                        {"w" + std::to_string(width) + "-" +
-                             exceptionModelName(model) + "-r" +
-                             std::to_string(regs) + "-" +
-                             cacheKindName(kind),
-                         cfg});
-                }
-            }
-        }
-    }
-    const auto results = runExperiments(specs, suite);
-
-    std::size_t k = 0;
-    for (const auto model :
-         {ExceptionModel::Imprecise, ExceptionModel::Precise}) {
-        std::printf("\n=== (%s exceptions) ===\n",
-                    exceptionModelName(model));
-        for (const int width : {4, 8}) {
-            std::printf("\n--- %d-way issue, DQ=%d ---\n", width,
-                        width == 4 ? 32 : 64);
-            std::printf("%5s | %8s %12s %8s\n", "regs", "perfect",
-                        "lockup-free", "lockup");
-            for (const int regs :
-                 {32, 48, 64, 80, 96, 128, 160, 256}) {
-                std::printf("%5d |", regs);
-                for (const CacheKind kind : kinds) {
-                    std::printf(" %*.2f",
-                                kind == CacheKind::LockupFree ? 12 : 8,
-                                results[k++].suite.avgCommitIpc());
-                }
-                std::printf("\n");
-            }
-        }
-    }
-    std::printf("\npaper reference: lockup-free ~= perfect >> lockup "
-                "at every size; e.g. the 8-way\nimprecise curves "
-                "saturate at ~96 registers for every memory model.\n");
-    printStallSummary(results);
-    emitResults("fig7", results, cap);
-    return 0;
+    return drsim::exp::runExperimentByName("fig7");
 }

@@ -1,70 +1,14 @@
 /**
  * @file
- * Reproduces **Figure 8** of the paper: compress's cumulative
- * integer-register usage under the three cache organizations
- * (precise exceptions, 4-way issue, 32-entry dispatch queue,
- * 2048 registers).
- *
- * Expected shape: the lockup-free cache needs the most registers and
- * spreads them over the widest range (many outstanding misses keep
- * many destinations live); the lockup cache concentrates its live
- * registers in a narrow band; the perfect cache sits lowest.
+ * Thin wrapper preserving the legacy `bench/fig8` binary; the
+ * experiment itself is registered in the experiment registry
+ * (src/exp) and equally runnable as `drsim_bench fig8`.
  */
 
-#include "bench/bench_util.hh"
-
-using namespace drsim;
-using namespace drsim::bench;
+#include "exp/registry.hh"
 
 int
 main()
 {
-    banner("Figure 8: compress integer-register coverage for three "
-           "caches");
-    const int scale = suiteScale();
-    const std::uint64_t cap = maxCommitted(0);
-    std::vector<Workload> suite;
-    suite.push_back(buildWorkload("compress", scale));
-
-    const CacheKind kinds[3] = {CacheKind::Perfect,
-                                CacheKind::LockupFree,
-                                CacheKind::Lockup};
-    std::vector<ExperimentSpec> specs;
-    for (const CacheKind kind : kinds) {
-        CoreConfig cfg =
-            paperConfig(4, 2048, ExceptionModel::Precise, kind);
-        cfg.maxCommitted = cap;
-        specs.push_back(
-            {std::string("compress-") + cacheKindName(kind), cfg});
-    }
-    const auto results = runExperiments(specs, suite);
-
-    std::vector<std::vector<double>> curves;
-    for (const auto &res : results)
-        curves.push_back(coverageCurve(
-            res.suite.runs()[0]
-                .proc.live[int(RegClass::Int)][int(
-                    LiveLevel::PreciseLive)]
-                .normalized()));
-
-    std::printf("%-10s %10s %12s %10s\n", "registers", "perfect",
-                "lockup-free", "lockup");
-    std::size_t len = 0;
-    for (const auto &c : curves)
-        len = std::max(len, c.size());
-    for (std::size_t r = 30; r < len + 5; r += 5) {
-        const auto at = [&](const std::vector<double> &c) {
-            return r < c.size() ? c[r] : 1.0;
-        };
-        std::printf("%-10zu %9.1f%% %11.1f%% %9.1f%%\n", r,
-                    100.0 * at(curves[0]), 100.0 * at(curves[1]),
-                    100.0 * at(curves[2]));
-    }
-    std::printf("\npaper reference: the lockup-free curve lies "
-                "rightmost (more registers, wider spread);\nthe "
-                "lockup curve concentrates between ~55 and ~75 "
-                "registers; perfect needs the fewest.\n");
-    printStallSummary(results);
-    emitResults("fig8", results, cap);
-    return 0;
+    return drsim::exp::runExperimentByName("fig8");
 }

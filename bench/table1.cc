@@ -1,79 +1,14 @@
 /**
  * @file
- * Reproduces **Table 1** of the paper: per-benchmark dynamic
- * statistics for the 4-way (DQ=32) and 8-way (DQ=64) machines with
- * 2048 physical registers per file and the lockup-free baseline cache.
- *
- * Columns mirror the paper: committed instructions, executed
- * instructions (total / loads / conditional branches), issue and
- * commit IPC, load miss rate, and conditional-branch misprediction
- * rate.  Counts are absolute (the paper's are in millions of
- * instructions on the full SPEC92 runs; the synthetic kernels are
- * scaled down, so compare the rates and IPCs, not the raw counts).
+ * Thin wrapper preserving the legacy `bench/table1` binary; the
+ * experiment itself is registered in the experiment registry
+ * (src/exp) and equally runnable as `drsim_bench table1`.
  */
 
-#include "bench/bench_util.hh"
-
-using namespace drsim;
-using namespace drsim::bench;
-
-namespace {
-
-void
-printWidth(int width, const SuiteResult &res)
-{
-    std::printf("\n--- %d-way issue, DQ=%d, 2048 registers, "
-                "lockup-free cache ---\n",
-                width, width == 4 ? 32 : 64);
-    std::printf("%-9s %9s %9s %8s %8s | %6s %6s | %6s %6s\n",
-                "bench", "commit", "exec", "ld", "cbr", "issIPC",
-                "cmtIPC", "ld%", "cbr%");
-    for (const SimResult &r : res.runs()) {
-        std::printf(
-            "%-9s %9llu %9llu %8llu %8llu | %6.2f %6.2f | %5.1f%% "
-            "%5.1f%%\n",
-            r.workload.c_str(), (unsigned long long)r.proc.committed,
-            (unsigned long long)r.proc.executed,
-            (unsigned long long)r.proc.executedLoads,
-            (unsigned long long)r.proc.executedCondBranches,
-            r.issueIpc(), r.commitIpc(), 100.0 * r.loadMissRate,
-            100.0 * r.mispredictRate());
-    }
-    std::printf("%-9s %38s | %6.2f %6.2f |\n", "average", "",
-                res.avgIssueIpc(), res.avgCommitIpc());
-}
-
-} // namespace
+#include "exp/registry.hh"
 
 int
 main()
 {
-    banner("Table 1: dynamic statistics per benchmark "
-           "(paper: Farkas/Jouppi/Chow HPCA-2)");
-    const int scale = suiteScale();
-    const std::uint64_t cap = maxCommitted(0);
-    std::printf("workload scale %d, per-run commit cap %llu "
-                "(0 = to completion)\n",
-                scale, (unsigned long long)cap);
-    const auto suite = buildSpec92Suite(scale);
-
-    std::vector<ExperimentSpec> specs;
-    for (const int width : {4, 8}) {
-        CoreConfig cfg = paperConfig(width, 2048);
-        cfg.maxCommitted = cap;
-        specs.push_back({"w" + std::to_string(width) + "-r2048", cfg});
-    }
-    const auto results = runExperiments(specs, suite);
-    printWidth(4, results[0].suite);
-    printWidth(8, results[1].suite);
-    std::printf(
-        "\npaper reference (Table 1, 4-way): compress 3.06/2.09 "
-        "15%%/14%% | doduc 2.75/2.49 1%%/10%% | espresso 3.39/3.04 "
-        "1%%/13%%\n  gcc1 2.80/2.35 1%%/19%% | mdljdp2 2.33/2.12 "
-        "3%%/6%% | mdljsp2 2.97/2.69 1%%/6%% | ora 1.86/1.86 "
-        "0%%/6%%\n  su2cor 3.38/3.22 17%%/7%% | tomcatv 2.77/2.77 "
-        "33%%/1%%\n");
-    printStallSummary(results);
-    emitResults("table1", results, cap);
-    return 0;
+    return drsim::exp::runExperimentByName("table1");
 }

@@ -136,6 +136,10 @@ struct CoreConfig
     /// @}
 
     void validate() const;
+
+    /** Memberwise equality (grid-expansion tests compare registry
+     *  output against hand-built legacy spec vectors). */
+    bool operator==(const CoreConfig &) const = default;
 };
 
 } // namespace drsim

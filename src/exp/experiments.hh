@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Library-internal seams of the experiment registry: the definition
+ * table itself (experiments.cc) and the custom harness bodies that
+ * live in their own translation units.
+ */
+
+#ifndef DRSIM_EXP_EXPERIMENTS_HH
+#define DRSIM_EXP_EXPERIMENTS_HH
+
+#include <vector>
+
+#include "exp/registry.hh"
+
+namespace drsim {
+namespace exp {
+namespace detail {
+
+/** The full definition table (experiments.cc). */
+std::vector<ExperimentDef> makeExperimentDefs();
+
+/** The simulator-speed benchmark harness (simspeed.cc). */
+int runSimspeed(const RunContext &ctx);
+
+} // namespace detail
+} // namespace exp
+} // namespace drsim
+
+#endif // DRSIM_EXP_EXPERIMENTS_HH

@@ -1,0 +1,290 @@
+#include "exp/registry.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "exp/experiments.hh"
+#include "workloads/classic.hh"
+
+namespace drsim {
+namespace exp {
+
+RunContext
+RunContext::fromEnv()
+{
+    RunContext ctx;
+    ctx.scale = envInt("DRSIM_SCALE", kDefaultSuiteScale, 0,
+                       std::numeric_limits<int>::max());
+    ctx.maxCommitted = envU64("DRSIM_MAX_COMMITTED", 0);
+    const char *dir = std::getenv("DRSIM_RESULTS_DIR");
+    ctx.resultsDir = dir != nullptr ? dir : ".";
+    return ctx;
+}
+
+namespace {
+
+std::vector<ExperimentDef> &
+mutableRegistry()
+{
+    static std::vector<ExperimentDef> defs =
+        detail::makeExperimentDefs();
+    return defs;
+}
+
+} // namespace
+
+const std::vector<ExperimentDef> &
+experimentRegistry()
+{
+    return mutableRegistry();
+}
+
+const ExperimentDef *
+findExperiment(const std::string &name)
+{
+    for (const ExperimentDef &def : experimentRegistry()) {
+        if (name == def.name)
+            return &def;
+    }
+    return nullptr;
+}
+
+void
+setExternalRunner(const std::string &name,
+                  int (*run)(const RunContext &ctx))
+{
+    for (ExperimentDef &def : mutableRegistry()) {
+        if (name == def.name) {
+            if (def.run == nullptr) {
+                fatal("experiment '", name,
+                      "' is grid-driven; it cannot take an external "
+                      "runner");
+            }
+            def.run = run;
+            return;
+        }
+    }
+    fatal("unknown experiment '", name, "'");
+}
+
+std::vector<ExperimentSpec>
+expandExperiment(const ExperimentDef &def, const RunContext &ctx)
+{
+    if (def.grids == nullptr) {
+        fatal("experiment '", def.name,
+              "' is a custom harness; it has no declarative grid");
+    }
+    std::vector<ExperimentSpec> specs = expandGrids(def.grids());
+    for (ExperimentSpec &spec : specs)
+        spec.config.maxCommitted = ctx.maxCommitted;
+    return specs;
+}
+
+std::vector<Workload>
+buildSuite(const ExperimentDef &def, const RunContext &ctx)
+{
+    return def.suite != nullptr ? def.suite(ctx)
+                                : buildSpec92Suite(ctx.scale);
+}
+
+int
+runExperiment(const ExperimentDef &def, const RunContext &ctx,
+              const std::string &filter)
+{
+    if (def.run != nullptr) {
+        if (!filter.empty()) {
+            warn("--filter has no effect on custom experiment '",
+                 def.name, "'");
+        }
+        return def.run(ctx);
+    }
+
+    banner(def.title);
+    std::vector<ExperimentSpec> specs = expandExperiment(def, ctx);
+    const std::size_t full = specs.size();
+    if (!filter.empty()) {
+        std::vector<ExperimentSpec> kept;
+        for (ExperimentSpec &spec : specs) {
+            if (spec.name.find(filter) != std::string::npos)
+                kept.push_back(std::move(spec));
+        }
+        if (kept.empty()) {
+            std::fprintf(stderr,
+                         "%s: no spec name contains --filter '%s'\n",
+                         def.name, filter.c_str());
+            return 1;
+        }
+        specs = std::move(kept);
+        std::printf("\nrunning %zu of %zu specs matching --filter "
+                    "'%s'\n",
+                    specs.size(), full, filter.c_str());
+    }
+
+    const std::vector<Workload> suite = buildSuite(def, ctx);
+    const std::vector<ExperimentResult> results =
+        runExperiments(specs, suite, ctx.jobs);
+
+    if (!filter.empty()) {
+        // The curated printers index the full grid positionally, so a
+        // subset gets the generic summary instead (and no artifact —
+        // a filtered run is an audit, not a reproduction).
+        printGenericSummary(results);
+        printStallSummary(results);
+        return 0;
+    }
+    def.print(ctx, results);
+    if (def.exportResults) {
+        printStallSummary(results);
+        emitResults(def.name, ctx, results);
+    }
+    return 0;
+}
+
+int
+runExperimentByName(const char *name)
+{
+    const ExperimentDef *def = findExperiment(name);
+    if (def == nullptr) {
+        std::fprintf(stderr, "unknown experiment '%s'\n", name);
+        return 2;
+    }
+    try {
+        return runExperiment(*def, RunContext::fromEnv());
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s: %s\n", name, e.what());
+        return 1;
+    }
+}
+
+CoreConfig
+paperConfig(int issue_width, int num_regs, ExceptionModel model,
+            CacheKind cache)
+{
+    CoreConfig cfg;
+    cfg.issueWidth = issue_width;
+    cfg.dqSize = issue_width == 4 ? 32 : 64;
+    cfg.numPhysRegs = num_regs;
+    cfg.exceptionModel = model;
+    cfg.cacheKind = cache;
+    return cfg;
+}
+
+void
+banner(const char *title)
+{
+    std::printf("\n================================================="
+                "=============\n%s\n"
+                "=================================================="
+                "============\n",
+                title);
+}
+
+void
+printStallSummary(const std::vector<ExperimentResult> &results)
+{
+    std::printf("\n---- stall-cause breakdown (avg %% of cycles) "
+                "----\n");
+    std::printf("%-24s", "cause");
+    for (const auto &res : results)
+        std::printf(" %12.12s", res.spec.name.c_str());
+    std::printf("\n");
+    for (int c = 0; c < kNumCycleCauses; ++c) {
+        bool fired = false;
+        for (const auto &res : results)
+            for (const auto &r : res.suite.runs())
+                fired = fired ||
+                        r.proc.cycleCauseCount(CycleCause(c)) > 0;
+        if (!fired)
+            continue;
+        std::printf("%-24s", cycleCauseName(CycleCause(c)));
+        for (const auto &res : results)
+            std::printf(" %11.2f%%",
+                        res.suite.avgCausePct(CycleCause(c)));
+        std::printf("\n");
+    }
+}
+
+void
+emitResults(const char *id, const RunContext &ctx,
+            const std::vector<ExperimentResult> &results)
+{
+    const std::string path =
+        ctx.resultsDir + "/" + id + "_results.json";
+    RunInfo info;
+    info.runId = id;
+    info.scale = ctx.scale;
+    info.maxCommitted = ctx.maxCommitted;
+    try {
+        writeResultsFile(path, info, results);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s: %s\n", id, e.what());
+        std::exit(1);
+    }
+    std::printf("\n[%s] wrote JSON results to %s\n", id, path.c_str());
+}
+
+void
+printGenericSummary(const std::vector<ExperimentResult> &results)
+{
+    std::printf("\n%-32s %7s %7s %8s %10s\n", "spec", "issIPC",
+                "cmtIPC", "stall%", "nofree%");
+    for (const ExperimentResult &er : results) {
+        std::printf("%-32s %7.2f %7.2f %7.1f%% %9.1f%%\n",
+                    er.spec.name.c_str(), er.suite.avgIssueIpc(),
+                    er.suite.avgCommitIpc(), er.suite.avgStallPct(),
+                    er.suite.avgNoFreeRegPct());
+    }
+}
+
+std::vector<Workload>
+classicWorkloads()
+{
+    auto classic = buildClassicSuite();
+    // Workloads reference their WorkloadSpec by pointer, so the specs
+    // need storage that outlives the returned suite.
+    static const std::vector<WorkloadSpec> specs = [] {
+        std::vector<WorkloadSpec> s;
+        for (const auto &[name, prog] : buildClassicSuite())
+            s.push_back({name, "", false, nullptr});
+        return s;
+    }();
+    std::vector<Workload> suite;
+    for (std::size_t i = 0; i < classic.size(); ++i)
+        suite.push_back({&specs[i], std::move(classic[i].second)});
+    return suite;
+}
+
+std::string
+configSummary(const CoreConfig &cfg)
+{
+    std::string s = "width=" + std::to_string(cfg.issueWidth) +
+                    " dq=" + std::to_string(cfg.dqSize) +
+                    " regs=" + std::to_string(cfg.numPhysRegs) +
+                    " model=" +
+                    exceptionModelName(cfg.exceptionModel) +
+                    " cache=" + cacheKindName(cfg.cacheKind);
+    if (cfg.dcache.maxOutstandingMisses != 0) {
+        s += " mshrs=" +
+             std::to_string(cfg.dcache.maxOutstandingMisses);
+    }
+    if (cfg.dcache.writeBufferEntries != 0) {
+        s += " wbuf=" + std::to_string(cfg.dcache.writeBufferEntries) +
+             " drain=" +
+             std::to_string(cfg.dcache.writeBufferDrainCycles);
+    }
+    if (cfg.inOrderBranches)
+        s += " in-order-branches";
+    if (!cfg.speculativeHistoryUpdate)
+        s += " execute-time-history";
+    if (!cfg.storeToLoadForwarding)
+        s += " no-forwarding";
+    if (cfg.splitDispatchQueues)
+        s += " split-queues";
+    return s;
+}
+
+} // namespace exp
+} // namespace drsim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The experiment registry: every paper table/figure reproduction,
+ * ablation, and extension study described as data (a name, a banner,
+ * declarative grids, a suite builder, and a print/export policy) and
+ * runnable by name — from the single `drsim_bench` driver, from the
+ * thin per-experiment wrapper binaries in bench/, or from tests.
+ *
+ * Two shapes of experiment coexist:
+ *
+ *  - *Grid* experiments (the common case): grids() expands to the
+ *    exact ExperimentSpec vector the legacy harness built by hand,
+ *    runExperiments() fans the (spec, workload) points over the
+ *    worker pool, print() renders the harness's stdout tables, and —
+ *    for the exporting experiments — the stall summary and the
+ *    `<name>_results.json` artifact (docs/RESULTS_SCHEMA.md) are
+ *    emitted exactly as before, byte for byte.
+ *
+ *  - *Custom* experiments (simspeed's wall-clock timing loops,
+ *    ext_critical_paths' pure timing-model printout, micro's
+ *    google-benchmark suite): run() is an opaque harness body.  They
+ *    still register, list, and run by name; they just have no grid to
+ *    expand, so --dry-run and --filter do not apply to them.
+ */
+
+#ifndef DRSIM_EXP_REGISTRY_HH
+#define DRSIM_EXP_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/grid.hh"
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+
+namespace drsim {
+namespace exp {
+
+/**
+ * Everything an experiment run needs from the outside world, resolved
+ * once (environment variables, then drsim_bench flags) instead of
+ * being re-read piecemeal by every harness.
+ */
+struct RunContext
+{
+    /** Workload scale (DRSIM_SCALE; one unit ~ 10k committed insts). */
+    int scale = kDefaultSuiteScale;
+    /** Per-run committed-instruction cap (DRSIM_MAX_COMMITTED;
+     *  0 = run to halt). */
+    std::uint64_t maxCommitted = 0;
+    /** Worker threads (0 = resolveJobs() default: DRSIM_JOBS, then
+     *  hardware concurrency). */
+    int jobs = 0;
+    /** Directory for JSON results artifacts (DRSIM_RESULTS_DIR). */
+    std::string resultsDir = ".";
+
+    /** Resolve scale/cap/results directory from the environment. */
+    static RunContext fromEnv();
+};
+
+struct ExperimentDef
+{
+    /** Registry key, artifact id, and legacy binary name. */
+    const char *name;
+    /** Banner line printed before a grid experiment runs. */
+    const char *title;
+    /** One-line summary for `drsim_bench --list`. */
+    const char *description;
+
+    /** Declarative sweep; null for custom experiments. */
+    std::vector<GridDef> (*grids)();
+    /** Workload suite; null = the SPEC92-like nine at ctx.scale. */
+    std::vector<Workload> (*suite)(const RunContext &ctx);
+    /** Render the harness's stdout tables (grid experiments). */
+    void (*print)(const RunContext &ctx,
+                  const std::vector<ExperimentResult> &results);
+    /** Emit the stall summary and `<name>_results.json` after
+     *  print() (the five paper-artifact experiments). */
+    bool exportResults;
+
+    /** Custom harness body; non-null makes this a custom experiment
+     *  (grids/suite/print/exportResults are ignored). */
+    int (*run)(const RunContext &ctx);
+};
+
+/** All registered experiments, in documentation order. */
+const std::vector<ExperimentDef> &experimentRegistry();
+
+/** Lookup by name; nullptr when unknown. */
+const ExperimentDef *findExperiment(const std::string &name);
+
+/**
+ * Replace a custom experiment's run() hook.  Used by drsim_bench to
+ * attach the google-benchmark micro suite, which lives outside this
+ * library so the library does not link google-benchmark.
+ */
+void setExternalRunner(const std::string &name,
+                       int (*run)(const RunContext &ctx));
+
+/** Grid expansion with ctx applied (the per-run commit cap); fatal()
+ *  for custom experiments. */
+std::vector<ExperimentSpec>
+expandExperiment(const ExperimentDef &def, const RunContext &ctx);
+
+/** Build the experiment's workload suite. */
+std::vector<Workload> buildSuite(const ExperimentDef &def,
+                                 const RunContext &ctx);
+
+/**
+ * The full driver path: banner, suite build, grid expansion,
+ * runExperiments(), print, and (for exporters) the stall summary +
+ * JSON artifact.  @p filter, when non-empty, restricts the run to
+ * specs whose name contains it; filtered runs use a generic summary
+ * table instead of the curated printer and never export.
+ * Returns a process exit code.
+ */
+int runExperiment(const ExperimentDef &def, const RunContext &ctx,
+                  const std::string &filter = "");
+
+/** runExperiment() with a context from the environment — the entire
+ *  body of each thin bench/ wrapper binary. */
+int runExperimentByName(const char *name);
+
+/// @name Shared harness helpers (formerly bench/bench_util.hh)
+/// @{
+
+/**
+ * The paper's machine configuration (Figure 2) for a given issue
+ * width: the dispatch queue defaults to the paper's cost-effective
+ * size (32 entries at 4-way, 64 at 8-way).
+ */
+CoreConfig paperConfig(int issue_width, int num_regs,
+                       ExceptionModel model = ExceptionModel::Precise,
+                       CacheKind cache = CacheKind::LockupFree);
+
+/** Boxed section header. */
+void banner(const char *title);
+
+/**
+ * Print the exclusive stall-cause breakdown (suite averages, percent
+ * of cycles) for every experiment in @p results.  Causes that never
+ * fired anywhere are omitted to keep the table short.
+ */
+void printStallSummary(const std::vector<ExperimentResult> &results);
+
+/**
+ * Write the JSON results artifact (docs/RESULTS_SCHEMA.md) to
+ * `<ctx.resultsDir>/<id>_results.json` and tell the user where it
+ * went; exits on I/O failure like the legacy harnesses did.
+ */
+void emitResults(const char *id, const RunContext &ctx,
+                 const std::vector<ExperimentResult> &results);
+
+/** Per-spec summary table used for --filter runs and spec files. */
+void printGenericSummary(const std::vector<ExperimentResult> &results);
+
+/** The classic-kernel family (workloads/classic.hh) wrapped as
+ *  Workloads with stable WorkloadSpec storage; used by ext_classic
+ *  and by sweep-spec files with "suite": "classic". */
+std::vector<Workload> classicWorkloads();
+
+/** One-line config summary for --dry-run audits. */
+std::string configSummary(const CoreConfig &cfg);
+/// @}
+
+} // namespace exp
+} // namespace drsim
+
+#endif // DRSIM_EXP_REGISTRY_HH

@@ -1,0 +1,240 @@
+#include "exp/spec_file.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "exp/registry.hh"
+
+namespace drsim {
+namespace exp {
+
+namespace {
+
+const char *const kStringAxes[] = {"model", "cache"};
+const char *const kNumberAxes[] = {"width", "dq", "regs", "mshrs",
+                                   "write_buffer",
+                                   "write_buffer_drain"};
+
+bool
+isStringAxis(const std::string &key)
+{
+    return std::find(std::begin(kStringAxes), std::end(kStringAxes),
+                     key) != std::end(kStringAxes);
+}
+
+bool
+isNumberAxis(const std::string &key)
+{
+    return std::find(std::begin(kNumberAxes), std::end(kNumberAxes),
+                     key) != std::end(kNumberAxes);
+}
+
+ExceptionModel
+modelFromName(const std::string &name)
+{
+    if (name == "precise")
+        return ExceptionModel::Precise;
+    if (name == "imprecise")
+        return ExceptionModel::Imprecise;
+    fatal("sweep spec: unknown exception model '", name,
+          "' (want \"precise\" or \"imprecise\")");
+}
+
+CacheKind
+cacheFromName(const std::string &name)
+{
+    if (name == "perfect")
+        return CacheKind::Perfect;
+    if (name == "lockup-free")
+        return CacheKind::LockupFree;
+    if (name == "lockup")
+        return CacheKind::Lockup;
+    fatal("sweep spec: unknown cache kind '", name,
+          "' (want \"perfect\", \"lockup-free\", or \"lockup\")");
+}
+
+std::vector<int>
+toInts(const std::vector<std::uint64_t> &nums)
+{
+    std::vector<int> out;
+    for (const std::uint64_t v : nums)
+        out.push_back(int(v));
+    return out;
+}
+
+std::vector<std::uint32_t>
+toU32s(const std::vector<std::uint64_t> &nums)
+{
+    std::vector<std::uint32_t> out;
+    for (const std::uint64_t v : nums)
+        out.push_back(std::uint32_t(v));
+    return out;
+}
+
+} // namespace
+
+SweepSpec
+parseSweepSpec(const std::string &text)
+{
+    const json::Value doc = json::parse(text);
+    if (!doc.isObject())
+        fatal("sweep spec: top-level value must be an object");
+
+    SweepSpec spec;
+    spec.name = doc.at("name").asString();
+    if (spec.name.empty())
+        fatal("sweep spec: \"name\" must be non-empty");
+    if (const json::Value *v = doc.find("description"))
+        spec.description = v->asString();
+    if (const json::Value *v = doc.find("suite"))
+        spec.suite = v->asString();
+    if (spec.suite != "spec92" && spec.suite != "classic") {
+        fatal("sweep spec: unknown suite '", spec.suite,
+              "' (want \"spec92\" or \"classic\")");
+    }
+    if (const json::Value *v = doc.find("export"))
+        spec.exportResults = v->asBool();
+
+    const json::Value &axes = doc.at("axes");
+    if (!axes.isObject())
+        fatal("sweep spec: \"axes\" must be an object");
+    for (const auto &[key, value] : axes.members()) {
+        SweepSpec::AxisDecl decl;
+        decl.key = key;
+        if (!value.isArray() || value.items().empty()) {
+            fatal("sweep spec: axis '", key,
+                  "' must be a non-empty array");
+        }
+        if (isStringAxis(key)) {
+            for (const json::Value &item : value.items())
+                decl.strs.push_back(item.asString());
+        } else if (isNumberAxis(key)) {
+            for (const json::Value &item : value.items())
+                decl.nums.push_back(item.asU64());
+        } else {
+            fatal("sweep spec: unknown axis '", key, "'");
+        }
+        spec.axes.push_back(std::move(decl));
+    }
+    if (spec.axes.empty())
+        fatal("sweep spec: \"axes\" must declare at least one axis");
+    return spec;
+}
+
+std::string
+sweepSpecJson(const SweepSpec &spec)
+{
+    std::string out = "{\n";
+    out += "  \"name\": \"" + json::escape(spec.name) + "\",\n";
+    out += "  \"description\": \"" + json::escape(spec.description) +
+           "\",\n";
+    out += "  \"suite\": \"" + json::escape(spec.suite) + "\",\n";
+    out += std::string("  \"export\": ") +
+           (spec.exportResults ? "true" : "false") + ",\n";
+    out += "  \"axes\": {\n";
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+        const SweepSpec::AxisDecl &decl = spec.axes[a];
+        out += "    \"" + json::escape(decl.key) + "\": [";
+        if (decl.strs.empty()) {
+            for (std::size_t i = 0; i < decl.nums.size(); ++i) {
+                if (i > 0)
+                    out += ", ";
+                out += std::to_string(decl.nums[i]);
+            }
+        } else {
+            for (std::size_t i = 0; i < decl.strs.size(); ++i) {
+                if (i > 0)
+                    out += ", ";
+                out += "\"" + json::escape(decl.strs[i]) + "\"";
+            }
+        }
+        out += a + 1 < spec.axes.size() ? "],\n" : "]\n";
+    }
+    out += "  }\n}\n";
+    return out;
+}
+
+GridDef
+toGrid(const SweepSpec &spec)
+{
+    // Paper baseline for every knob an axis does not sweep: the
+    // cost-effective 4-way machine with a comfortable register file.
+    GridDef grid;
+    grid.base = paperConfig(4, 128);
+
+    for (const SweepSpec::AxisDecl &decl : spec.axes) {
+        if (decl.key == "width") {
+            grid.axes.push_back(widthAxis(toInts(decl.nums)));
+        } else if (decl.key == "dq") {
+            grid.axes.push_back(dqAxis(toInts(decl.nums)));
+        } else if (decl.key == "regs") {
+            grid.axes.push_back(regsAxis(toInts(decl.nums)));
+        } else if (decl.key == "model") {
+            std::vector<ExceptionModel> models;
+            for (const std::string &s : decl.strs)
+                models.push_back(modelFromName(s));
+            grid.axes.push_back(modelAxis(models));
+        } else if (decl.key == "cache") {
+            std::vector<CacheKind> kinds;
+            for (const std::string &s : decl.strs)
+                kinds.push_back(cacheFromName(s));
+            grid.axes.push_back(cacheAxis(kinds));
+        } else if (decl.key == "mshrs") {
+            grid.axes.push_back(mshrAxis(toU32s(decl.nums)));
+        } else if (decl.key == "write_buffer") {
+            grid.axes.push_back(writeBufferAxis(toU32s(decl.nums)));
+        } else if (decl.key == "write_buffer_drain") {
+            grid.axes.push_back(writeBufferDrainAxis(decl.nums));
+        } else {
+            fatal("sweep spec: unknown axis '", decl.key, "'");
+        }
+    }
+    return grid;
+}
+
+int
+runSweepSpec(const SweepSpec &spec, const RunContext &ctx,
+             const std::string &filter)
+{
+    banner(("sweep spec: " + spec.name).c_str());
+    if (!spec.description.empty())
+        std::printf("%s\n", spec.description.c_str());
+
+    std::vector<ExperimentSpec> specs = expandGrid(toGrid(spec));
+    for (ExperimentSpec &s : specs)
+        s.config.maxCommitted = ctx.maxCommitted;
+    const std::size_t full = specs.size();
+    if (!filter.empty()) {
+        std::vector<ExperimentSpec> kept;
+        for (ExperimentSpec &s : specs) {
+            if (s.name.find(filter) != std::string::npos)
+                kept.push_back(std::move(s));
+        }
+        if (kept.empty()) {
+            std::fprintf(stderr,
+                         "%s: no spec name contains --filter '%s'\n",
+                         spec.name.c_str(), filter.c_str());
+            return 1;
+        }
+        specs = std::move(kept);
+        std::printf("\nrunning %zu of %zu specs matching --filter "
+                    "'%s'\n",
+                    specs.size(), full, filter.c_str());
+    }
+
+    const std::vector<Workload> suite =
+        spec.suite == "classic" ? classicWorkloads()
+                                : buildSpec92Suite(ctx.scale);
+    const std::vector<ExperimentResult> results =
+        runExperiments(specs, suite, ctx.jobs);
+    printGenericSummary(results);
+    printStallSummary(results);
+    if (spec.exportResults && filter.empty())
+        emitResults(spec.name.c_str(), ctx, results);
+    return 0;
+}
+
+} // namespace exp
+} // namespace drsim

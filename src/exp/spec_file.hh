@@ -1,0 +1,90 @@
+/**
+ * @file
+ * JSON sweep-spec files: a declarative, on-disk description of a
+ * config grid that `drsim_bench --spec <file>` can run without
+ * recompiling — the same axes the built-in experiments use (issue
+ * width, dispatch-queue size, register count, exception model, cache
+ * kind, MSHR bound, write-buffer geometry), expanded by the same
+ * grid machinery, so names and orderings follow the registry's
+ * conventions.
+ *
+ * Document shape (all axis arrays optional; absent = keep the paper
+ * baseline for that knob):
+ *
+ *   {
+ *     "name": "my-sweep",
+ *     "description": "what this sweep shows",
+ *     "suite": "spec92",              // or "classic"
+ *     "export": false,                // write <name>_results.json?
+ *     "axes": {
+ *       "width": [4, 8],
+ *       "dq": [32, 64],
+ *       "regs": [64, 128],
+ *       "model": ["precise", "imprecise"],
+ *       "cache": ["perfect", "lockup-free", "lockup"],
+ *       "mshrs": [4, 0],
+ *       "write_buffer": [8, 0],
+ *       "write_buffer_drain": [4]
+ *     }
+ *   }
+ *
+ * Axis declaration order in the file is the nesting order (first axis
+ * is the outermost loop), exactly like GridDef::axes.
+ */
+
+#ifndef DRSIM_EXP_SPEC_FILE_HH
+#define DRSIM_EXP_SPEC_FILE_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/grid.hh"
+#include "exp/registry.hh"
+
+namespace drsim {
+namespace exp {
+
+/** One parsed sweep-spec document. */
+struct SweepSpec
+{
+    std::string name;
+    std::string description;
+    /** Workload suite: "spec92" (default) or "classic". */
+    std::string suite = "spec92";
+    /** Write a `<name>_results.json` artifact after the run. */
+    bool exportResults = false;
+
+    /** One declared axis, in document order. */
+    struct AxisDecl
+    {
+        std::string key;                  ///< e.g. "width", "model"
+        std::vector<std::uint64_t> nums;  ///< numeric axes
+        std::vector<std::string> strs;    ///< model/cache axes
+    };
+    std::vector<AxisDecl> axes;
+};
+
+/** Parse a sweep-spec document; fatal() on malformed input. */
+SweepSpec parseSweepSpec(const std::string &text);
+
+/** Serialize @p spec back to its canonical JSON document form (used
+ *  by the round-trip test). */
+std::string sweepSpecJson(const SweepSpec &spec);
+
+/** Lower a parsed spec to the registry's grid form; fatal() on an
+ *  unknown axis key or value. */
+GridDef toGrid(const SweepSpec &spec);
+
+/**
+ * Run a parsed sweep spec end to end: expand, simulate over the
+ * declared suite, print the generic per-spec summary and stall
+ * breakdown, and (when the spec asks and no filter is active) export
+ * `<name>_results.json`.  Returns a process exit code.
+ */
+int runSweepSpec(const SweepSpec &spec, const RunContext &ctx,
+                 const std::string &filter = "");
+
+} // namespace exp
+} // namespace drsim
+
+#endif // DRSIM_EXP_SPEC_FILE_HH

@@ -69,6 +69,9 @@ struct CacheConfig
     Cycle writeBufferDrainCycles = 4;
 
     void validate() const;
+
+    /** Memberwise equality (needed by CoreConfig's). */
+    bool operator==(const CacheConfig &) const = default;
 };
 
 /** Outcome of issuing a load to the data cache. */

@@ -1,11 +1,11 @@
 #include "sim/runner.hh"
 
-#include <cerrno>
 #include <charconv>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "common/env.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -17,24 +17,25 @@ resolveJobs(int requested)
 {
     if (requested > 0)
         return requested;
-    if (const char *env = std::getenv("DRSIM_JOBS")) {
-        char *end = nullptr;
-        errno = 0;
-        const long long v = std::strtoll(env, &end, 10);
-        if (end == env || *end != '\0' || v < 0) {
-            warn("ignoring invalid DRSIM_JOBS='", env, "'");
-        } else if (errno == ERANGE || v > kMaxJobs) {
-            // strtoll saturates on overflow; either way the request
-            // is beyond any sane pool size, so clamp loudly instead
-            // of silently truncating through int().
-            warn("DRSIM_JOBS='", env, "' out of range; clamping to ",
-                 kMaxJobs);
+    std::uint64_t v = 0;
+    switch (envParseU64("DRSIM_JOBS", v)) {
+      case EnvStatus::Unset:
+        break;
+      case EnvStatus::Malformed:
+        warn("ignoring invalid DRSIM_JOBS='",
+             std::getenv("DRSIM_JOBS"), "'");
+        break;
+      case EnvStatus::Ok:
+        if (v > std::uint64_t(kMaxJobs)) {
+            // Beyond any sane pool size (envParseU64 saturates on
+            // overflow); clamp loudly instead of silently truncating.
+            warn("DRSIM_JOBS='", std::getenv("DRSIM_JOBS"),
+                 "' out of range; clamping to ", kMaxJobs);
             return kMaxJobs;
-        } else if (v == 0) {
-            return ThreadPool::hardwareJobs(); // explicit auto-detect
-        } else {
-            return int(v);
         }
+        if (v == 0)
+            return ThreadPool::hardwareJobs(); // explicit auto-detect
+        return int(v);
     }
     return ThreadPool::hardwareJobs();
 }
