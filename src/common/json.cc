@@ -1,5 +1,6 @@
 #include "json.hh"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -443,6 +444,92 @@ escape(const std::string &s)
             }
         }
     }
+    return out;
+}
+
+namespace {
+
+void
+serializeNumber(std::string &out, double v)
+{
+    // Exact integers in the 64-bit range print without a fraction so
+    // counters survive a parse/serialize round trip byte-for-byte;
+    // everything else uses the shortest round-tripping form.
+    if (v == std::floor(v) && !std::signbit(v) &&
+        v <= 18446744073709549568.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+        out += buf;
+        return;
+    }
+    if (v == std::floor(v) && v < 0.0 &&
+        v >= -9223372036854774784.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        out += buf;
+        return;
+    }
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, res.ptr);
+}
+
+void
+serializeValue(std::string &out, const Value &v)
+{
+    switch (v.kind()) {
+      case Value::Kind::Null:
+        out += "null";
+        return;
+      case Value::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        return;
+      case Value::Kind::Number:
+        serializeNumber(out, v.asNumber());
+        return;
+      case Value::Kind::String:
+        out += '"';
+        out += escape(v.asString());
+        out += '"';
+        return;
+      case Value::Kind::Array: {
+        out += '[';
+        const auto &items = v.items();
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            serializeValue(out, items[i]);
+        }
+        out += ']';
+        return;
+      }
+      case Value::Kind::Object: {
+        out += '{';
+        const auto &members = v.members();
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            out += '"';
+            out += escape(members[i].first);
+            out += "\":";
+            serializeValue(out, members[i].second);
+        }
+        out += '}';
+        return;
+      }
+    }
+    DRSIM_PANIC("invalid json::Value kind ", int(v.kind()));
+}
+
+} // namespace
+
+std::string
+serialize(const Value &v)
+{
+    std::string out;
+    serializeValue(out, v);
     return out;
 }
 

@@ -99,6 +99,20 @@ Value parse(const std::string &text);
  */
 std::string escape(const std::string &s);
 
+/**
+ * Serialize @p v back to a compact (no-whitespace) JSON document.
+ * Deterministic: object members keep their stored order, numbers that
+ * are exact integers within the 64-bit range are emitted without a
+ * fraction, and other numbers use the shortest string that round-trips
+ * (std::to_chars).  parse(serialize(v)) reproduces @p v exactly.
+ *
+ * The serve layer uses this to embed request sub-documents (sweep
+ * specs) and to re-emit cached result records; nothing here is meant
+ * for human eyes — the pretty emitters in sim/runner.cc stay the
+ * source of the documented artifacts.
+ */
+std::string serialize(const Value &v);
+
 } // namespace json
 } // namespace drsim
 

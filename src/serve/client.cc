@@ -1,0 +1,302 @@
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "serve/result_io.hh"
+#include "sim/runner.hh"
+
+namespace drsim {
+namespace serve {
+
+namespace {
+
+void
+splitHostPort(const std::string &hostPort, std::string &host,
+              int &port)
+{
+    const std::size_t colon = hostPort.rfind(':');
+    if (colon == std::string::npos || colon + 1 == hostPort.size())
+        fatal("--server expects HOST:PORT, got '", hostPort, "'");
+    host = hostPort.substr(0, colon);
+    try {
+        port = std::stoi(hostPort.substr(colon + 1));
+    } catch (const std::exception &) {
+        port = 0;
+    }
+    if (port < 1 || port > 65535)
+        fatal("--server: bad port in '", hostPort, "'");
+}
+
+} // namespace
+
+ServeClient::ServeClient(const std::string &hostPort)
+{
+    std::string host;
+    int port = 0;
+    splitHostPort(hostPort, host, port);
+
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        fatal("socket: ", std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd_);
+        fd_ = -1;
+        fatal("--server: not an IPv4 address: '", host, "'");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        fatal("cannot connect to drsim_serve at ", hostPort, ": ",
+              std::strerror(err));
+    }
+}
+
+ServeClient::~ServeClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+ServeClient::sendLine(const std::string &line)
+{
+    std::string data = line;
+    data += '\n';
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("server connection lost while sending: ",
+                  std::strerror(errno));
+        }
+        sent += std::size_t(n);
+    }
+}
+
+std::optional<std::string>
+ServeClient::readLine()
+{
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return line;
+        }
+        char chunk[65536];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("server connection lost: ", std::strerror(errno));
+        }
+        if (n == 0)
+            return std::nullopt;
+        buffer_.append(chunk, std::size_t(n));
+    }
+}
+
+json::Value
+ServeClient::readReply()
+{
+    const std::optional<std::string> line = readLine();
+    if (!line.has_value())
+        fatal("server closed the connection mid-conversation");
+    return json::parse(*line);
+}
+
+namespace {
+
+/**
+ * The shared serve-and-reassemble engine: send @p request, stream
+ * point replies into a (spec × workload) grid, and hand back the
+ * ExperimentResult vector in exactly the order a local
+ * runExperiments() call would have produced.
+ */
+std::vector<ExperimentResult>
+runViaServer(const std::string &hostPort, const std::string &request,
+             const std::vector<ExperimentSpec> &specs,
+             const std::vector<Workload> &suite)
+{
+    std::unordered_map<std::string, std::size_t> specIndex;
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        specIndex.emplace(specs[i].name, i);
+    std::unordered_map<std::string, std::size_t> wlIndex;
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        wlIndex.emplace(suite[i].spec->name, i);
+
+    ServeClient client(hostPort);
+    client.sendLine(request);
+
+    const std::size_t expected = specs.size() * suite.size();
+    std::vector<std::vector<SimResult>> grid(specs.size());
+    for (auto &row : grid)
+        row.resize(suite.size());
+    std::vector<std::vector<bool>> seen(
+        specs.size(), std::vector<bool>(suite.size(), false));
+    std::size_t received = 0;
+    std::uint64_t cacheHits = 0, computed = 0, coalesced = 0;
+    bool done = false;
+    while (!done) {
+        const json::Value reply = client.readReply();
+        const std::string &kind = reply.at("reply").asString();
+        if (kind == "error") {
+            fatal("server error [", reply.at("code").asString(),
+                  "]: ", reply.at("message").asString());
+        } else if (kind == "ack") {
+            if (reply.at("points").asU64() != expected) {
+                fatal("server expanded ", reply.at("points").asU64(),
+                      " points where this client expects ", expected,
+                      " — client/server version skew?");
+            }
+        } else if (kind == "point") {
+            const auto si = specIndex.find(
+                reply.at("spec").asString());
+            const auto wi = wlIndex.find(
+                reply.at("workload").asString());
+            if (si == specIndex.end() || wi == wlIndex.end()) {
+                fatal("server sent unknown point (",
+                      reply.at("spec").asString(), ", ",
+                      reply.at("workload").asString(),
+                      ") — client/server version skew?");
+            }
+            if (seen[si->second][wi->second])
+                fatal("server sent a duplicate point reply");
+            seen[si->second][wi->second] = true;
+            grid[si->second][wi->second] =
+                parsePointRecord(reply.at("result"));
+            ++received;
+            if (reply.at("cache_hit").asBool())
+                ++cacheHits;
+            else if (!reply.at("coalesced").asBool())
+                ++computed;
+            if (reply.at("coalesced").asBool())
+                ++coalesced;
+        } else if (kind == "done") {
+            done = true;
+        } else {
+            fatal("unexpected server reply '", kind, "'");
+        }
+    }
+    if (received != expected) {
+        fatal("server completed after ", received, " of ", expected,
+              " points");
+    }
+    std::fprintf(stderr,
+                 "[drsim_bench] served by %s: %zu points, "
+                 "%llu cache hits, %llu computed, %llu coalesced\n",
+                 hostPort.c_str(), expected,
+                 static_cast<unsigned long long>(cacheHits),
+                 static_cast<unsigned long long>(computed),
+                 static_cast<unsigned long long>(coalesced));
+
+    std::vector<ExperimentResult> results;
+    results.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        results.push_back(ExperimentResult{
+            specs[i], SuiteResult(std::move(grid[i]))});
+    }
+    return results;
+}
+
+std::string
+runRequestPrefix(const exp::RunContext &ctx)
+{
+    return "\"scale\":" + std::to_string(ctx.scale) +
+           ",\"max_committed\":" + std::to_string(ctx.maxCommitted);
+}
+
+} // namespace
+
+int
+runExperimentViaServer(const exp::ExperimentDef &def,
+                       const exp::RunContext &ctx,
+                       const std::string &hostPort)
+{
+    if (def.run != nullptr) {
+        std::fprintf(stderr,
+                     "%s: custom experiments cannot run via "
+                     "--server (no grid to serve)\n",
+                     def.name);
+        return 2;
+    }
+    const std::vector<ExperimentSpec> specs =
+        exp::expandExperiment(def, ctx);
+    const std::vector<Workload> suite = exp::buildSuite(def, ctx);
+
+    const std::string request =
+        "{\"verb\":\"run\",\"experiment\":\"" +
+        json::escape(def.name) + "\"," + runRequestPrefix(ctx) + "}";
+    const std::vector<ExperimentResult> results =
+        runViaServer(hostPort, request, specs, suite);
+
+    exp::banner(def.title);
+    def.print(ctx, results);
+    if (def.exportResults) {
+        exp::printStallSummary(results);
+        exp::emitResults(def.name, ctx, results);
+    }
+    return 0;
+}
+
+int
+runSweepSpecViaServer(const exp::SweepSpec &spec,
+                      const exp::RunContext &ctx,
+                      const std::string &hostPort)
+{
+    std::vector<ExperimentSpec> specs =
+        exp::expandGrid(exp::toGrid(spec));
+    for (ExperimentSpec &s : specs)
+        s.config.maxCommitted = ctx.maxCommitted;
+    const std::vector<Workload> suite =
+        spec.suite == "classic" ? exp::classicWorkloads()
+                                : buildSpec92Suite(ctx.scale);
+
+    const std::string request =
+        "{\"verb\":\"run\",\"spec\":" +
+        json::serialize(json::parse(exp::sweepSpecJson(spec))) +
+        "," + runRequestPrefix(ctx) + "}";
+    const std::vector<ExperimentResult> results =
+        runViaServer(hostPort, request, specs, suite);
+
+    exp::banner(("sweep spec: " + spec.name).c_str());
+    if (!spec.description.empty())
+        std::printf("%s\n", spec.description.c_str());
+    exp::printGenericSummary(results);
+    exp::printStallSummary(results);
+    if (spec.exportResults)
+        exp::emitResults(spec.name.c_str(), ctx, results);
+    return 0;
+}
+
+int
+printServerStats(const std::string &hostPort)
+{
+    ServeClient client(hostPort);
+    client.sendLine("{\"verb\":\"stats\"}");
+    const std::optional<std::string> line = client.readLine();
+    if (!line.has_value())
+        fatal("server closed the connection before replying");
+    std::printf("%s\n", line->c_str());
+    return 0;
+}
+
+} // namespace serve
+} // namespace drsim

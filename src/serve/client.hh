@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Client side of the drsim_serve protocol (docs/SERVER.md): the
+ * plumbing behind `drsim_bench --server HOST:PORT`.
+ *
+ * The design constraint is byte-identity: a sweep served from the
+ * daemon must produce the same stdout tables and the same schema-v2
+ * artifact as a direct local run.  The client therefore does *not*
+ * print anything the server sends; it expands the experiment grid and
+ * workload order locally (same code, same binary), reassembles the
+ * streamed point records into the exact ExperimentResult vector a
+ * local run would have built, and feeds it through the same print()
+ * hooks and the same emitResults() path.  Everything the server adds
+ * (cache provenance, progress) goes to stderr.
+ */
+
+#ifndef DRSIM_SERVE_CLIENT_HH
+#define DRSIM_SERVE_CLIENT_HH
+
+#include <optional>
+#include <string>
+
+#include "common/json.hh"
+#include "exp/registry.hh"
+#include "exp/spec_file.hh"
+
+namespace drsim {
+namespace serve {
+
+/** One NDJSON connection to a drsim_serve daemon. */
+class ServeClient
+{
+  public:
+    /** Connect to "HOST:PORT" (IPv4); fatal() on refusal. */
+    explicit ServeClient(const std::string &hostPort);
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Send one request line; fatal() on a broken connection. */
+    void sendLine(const std::string &line);
+
+    /** Next reply line, or std::nullopt at EOF. */
+    std::optional<std::string> readLine();
+
+    /** readLine() + parse; fatal() on EOF or malformed JSON. */
+    json::Value readReply();
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+/**
+ * Run a registered grid experiment through the daemon, reproducing
+ * the local runExperiment() stdout and artifacts exactly.  Returns a
+ * process exit code (2 for custom experiments, which cannot be
+ * served).
+ */
+int runExperimentViaServer(const exp::ExperimentDef &def,
+                           const exp::RunContext &ctx,
+                           const std::string &hostPort);
+
+/** Sweep-spec counterpart, mirroring runSweepSpec(). */
+int runSweepSpecViaServer(const exp::SweepSpec &spec,
+                          const exp::RunContext &ctx,
+                          const std::string &hostPort);
+
+/** Print the daemon's stats reply (raw JSON line) to stdout. */
+int printServerStats(const std::string &hostPort);
+
+} // namespace serve
+} // namespace drsim
+
+#endif // DRSIM_SERVE_CLIENT_HH

@@ -1,0 +1,272 @@
+#include "serve/point_cache.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "serve/result_io.hh"
+#include "workloads/program.hh"
+
+namespace drsim {
+namespace serve {
+
+namespace {
+
+/** Bump on any result-affecting simulator change (docs/SERVER.md). */
+constexpr const char *kBuiltinRev = "sim-v1";
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t
+fnv1aStep(std::uint64_t h, std::uint64_t v)
+{
+    // Hash the eight bytes of v little-endian.
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace
+
+std::string
+pointCacheRev()
+{
+    const char *env = std::getenv("DRSIM_CACHE_REV");
+    if (env != nullptr && env[0] != '\0')
+        return env;
+    return kBuiltinRev;
+}
+
+std::string
+fnv1aHex(const std::string &text)
+{
+    std::uint64_t h = kFnvOffset;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+std::string
+programDigest(const Program &program)
+{
+    std::uint64_t h = kFnvOffset;
+    for (const BasicBlock &bb : program.blocks()) {
+        // Block boundary marker so moving an instruction across a
+        // block edge changes the digest even if the flat instruction
+        // sequence does not.
+        h = fnv1aStep(h, 0xb10cb10cb10cb10cull);
+        for (const Instruction &inst : bb.insts) {
+            h = fnv1aStep(h, static_cast<std::uint64_t>(inst.op));
+            h = fnv1aStep(h,
+                          (std::uint64_t(std::uint8_t(inst.dest.cls))
+                           << 8) |
+                              inst.dest.index);
+            h = fnv1aStep(h,
+                          (std::uint64_t(std::uint8_t(inst.src1.cls))
+                           << 8) |
+                              inst.src1.index);
+            h = fnv1aStep(h,
+                          (std::uint64_t(std::uint8_t(inst.src2.cls))
+                           << 8) |
+                              inst.src2.index);
+            h = fnv1aStep(h, static_cast<std::uint64_t>(inst.imm));
+            h = fnv1aStep(h, static_cast<std::uint64_t>(
+                                 std::int64_t(inst.target)));
+        }
+    }
+    // The initial data image, in address order (the source map is
+    // unordered, which must not leak into the digest).
+    const std::map<Addr, std::uint64_t> words(
+        program.initialWords().begin(), program.initialWords().end());
+    for (const auto &[addr, value] : words) {
+        h = fnv1aStep(h, addr);
+        h = fnv1aStep(h, value);
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+std::string
+pointKeyText(const PointKey &key, const std::string &rev)
+{
+    const CoreConfig &c = key.config;
+    std::ostringstream os;
+    const auto cacheLine = [&os](const char *name,
+                                 const CacheConfig &cc) {
+        os << name << "=size:" << cc.sizeBytes
+           << ",assoc:" << cc.assoc << ",line:" << cc.lineBytes
+           << ",hit:" << cc.hitLatency << ",miss:" << cc.missPenalty
+           << ",mshrs:" << cc.maxOutstandingMisses
+           << ",wb_entries:" << cc.writeBufferEntries
+           << ",wb_drain:" << cc.writeBufferDrainCycles << "\n";
+    };
+    os << "drsim-point-v" << kPointRecordVersion << "\n"
+       << "rev=" << rev << "\n"
+       << "workload=" << key.workload << "\n"
+       << "program_digest=" << key.digest << "\n"
+       << "issue_width=" << c.issueWidth << "\n"
+       << "dq_size=" << c.dqSize << "\n"
+       << "num_phys_regs=" << c.numPhysRegs << "\n"
+       << "exception_model=" << exceptionModelName(c.exceptionModel)
+       << "\n"
+       << "cache_kind=" << cacheKindName(c.cacheKind) << "\n";
+    cacheLine("dcache", c.dcache);
+    cacheLine("icache", c.icache);
+    os << "perfect_icache=" << int(c.perfectICache) << "\n"
+       << "in_order_branches=" << int(c.inOrderBranches) << "\n"
+       << "speculative_history_update="
+       << int(c.speculativeHistoryUpdate) << "\n"
+       << "store_to_load_forwarding="
+       << int(c.storeToLoadForwarding) << "\n"
+       << "split_dispatch_queues=" << int(c.splitDispatchQueues)
+       << "\n"
+       << "max_committed=" << c.maxCommitted << "\n"
+       << "deadlock_cycles=" << c.deadlockCycles << "\n"
+       << "audit_interval=" << c.auditInterval << "\n"
+       << "collect_live_histograms=" << int(c.collectLiveHistograms)
+       << "\n"
+       << "collect_occupancy_histograms="
+       << int(c.collectOccupancyHistograms) << "\n";
+    return os.str();
+}
+
+PointCache::PointCache(std::string dir, std::string rev)
+    : dir_(std::move(dir)), rev_(std::move(rev))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        fatal("cannot create cache directory '", dir_,
+              "': ", ec.message());
+    }
+}
+
+std::string
+PointCache::pathFor(const std::string &hash) const
+{
+    return dir_ + "/" + hash.substr(0, 2) + "/" + hash + ".json";
+}
+
+std::string
+PointCache::entryPath(const PointKey &key) const
+{
+    return pathFor(fnv1aHex(pointKeyText(key, rev_)));
+}
+
+std::optional<SimResult>
+PointCache::load(const PointKey &key)
+{
+    const std::string keyText = pointKeyText(key, rev_);
+    const std::string path = pathFor(fnv1aHex(keyText));
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const auto corrupt = [&](const std::string &why) {
+        warn("cache entry ", path, " is unusable (", why,
+             "); recomputing");
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.corrupt;
+        ++stats_.misses;
+        return std::nullopt;
+    };
+
+    try {
+        const json::Value doc = json::parse(text.str());
+        if (!doc.isObject() ||
+            doc.at("drsim_cache").asU64() != 1)
+            return corrupt("not a v1 cache envelope");
+        if (doc.at("key").asString() != keyText)
+            return corrupt("key text mismatch (hash collision or "
+                           "stale generator)");
+        SimResult result = parsePointRecord(doc.at("result"));
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.hits;
+        return result;
+    } catch (const FatalError &e) {
+        return corrupt(e.what());
+    }
+}
+
+void
+PointCache::store(const PointKey &key, const SimResult &result)
+{
+    const std::string keyText = pointKeyText(key, rev_);
+    const std::string hash = fnv1aHex(keyText);
+    const std::string path = pathFor(hash);
+
+    std::error_code ec;
+    std::filesystem::create_directories(
+        dir_ + "/" + hash.substr(0, 2), ec);
+    if (ec) {
+        fatal("cannot create cache fan-out directory for '", path,
+              "': ", ec.message());
+    }
+
+    std::string envelope = "{\"drsim_cache\":1,\"computed_at_rev\":\"";
+    envelope += json::escape(rev_);
+    envelope += "\",\"key_hash\":\"" + hash + "\",\"key\":\"";
+    envelope += json::escape(keyText);
+    envelope += "\",\"result\":";
+    envelope += pointRecordJson(result);
+    envelope += "}\n";
+
+    // Unique temp name per writer, then an atomic rename: readers
+    // never observe a partial entry, and racing writers of the same
+    // key both rename identical bytes into place.
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(counter.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("cannot open cache temp file '", tmp, "'");
+        out << envelope;
+        out.flush();
+        if (!out)
+            fatal("failed writing cache temp file '", tmp, "'");
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        fatal("cannot publish cache entry '", path,
+              "': ", ec.message());
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.stores;
+}
+
+PointCache::Stats
+PointCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace serve
+} // namespace drsim

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The content-addressed sweep-point cache (docs/SERVER.md, "On-disk
+ * cache layout").
+ *
+ * A *point* is one (CoreConfig, workload program, code version)
+ * simulation — the unit the experiment registry proved to be a pure
+ * function (every knob that reaches the simulator is in CoreConfig,
+ * and a workload program is fully determined by its builder inputs).
+ * The cache maps a canonical textual serialization of those inputs
+ * (the *key text*) through a 64-bit FNV-1a hash to one JSON envelope
+ * file under the cache directory:
+ *
+ *   <dir>/<hh>/<16-hex-digit-hash>.json
+ *
+ * where <hh> is the first two hash digits (a fan-out level so a
+ * million-point cache does not put a million entries in one
+ * directory).  The envelope stores the *full* key text next to the
+ * result, and load() verifies it against the requested key, so a hash
+ * collision degrades to a cache miss instead of serving a wrong
+ * result, and a truncated or hand-edited file degrades to a recompute
+ * instead of a crash.
+ *
+ * The program coordinate is a content digest of the built guest
+ * program (instructions + initial data image), not a (name, scale)
+ * pair: if a kernel generator changes, its digests change and every
+ * stale entry silently misses.  The simulator code version
+ * (pointCacheRev()) is likewise part of the key text, so bumping it
+ * retires the entire cache at once — see docs/SERVER.md for the
+ * invalidation rules.
+ *
+ * Thread safety: store() writes to a unique temp file and renames it
+ * into place (atomic on POSIX), and load() only ever sees complete
+ * files; the statistics counters are mutex-guarded.  Concurrent
+ * stores of the same key are idempotent — last rename wins, and both
+ * writers produced identical bytes.
+ */
+
+#ifndef DRSIM_SERVE_POINT_CACHE_HH
+#define DRSIM_SERVE_POINT_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/config.hh"
+#include "sim/simulator.hh"
+#include "workloads/kernels.hh"
+
+namespace drsim {
+namespace serve {
+
+/**
+ * Simulator code version folded into every cache key.  Bump whenever
+ * a change alters simulation *results* (scheduling, stats, workload
+ * builders, …); pure refactors that the bit-identity test suites
+ * prove result-neutral keep it.  DRSIM_CACHE_REV overrides it (used
+ * by the invalidation tests and by operators pinning a cache).
+ */
+std::string pointCacheRev();
+
+/** FNV-1a content digest of a built program (code + data image),
+ *  rendered as 16 hex digits. */
+std::string programDigest(const Program &program);
+
+/** The inputs identifying one cacheable point. */
+struct PointKey
+{
+    CoreConfig config;
+    /** Workload name (provenance only; the digest is authoritative). */
+    std::string workload;
+    /** programDigest() of the built program. */
+    std::string digest;
+};
+
+/**
+ * Canonical key text for @p key at code version @p rev: one line per
+ * field, every CoreConfig member that can affect results.  The two
+ * scheduler-implementation knobs (scanScheduler, stallSkipAhead) are
+ * deliberately excluded — tests/test_event_core.cc enforces that they
+ * are bit-identical, so both implementations share cache entries.
+ */
+std::string pointKeyText(const PointKey &key, const std::string &rev);
+
+/** 64-bit FNV-1a of @p text as 16 lowercase hex digits. */
+std::string fnv1aHex(const std::string &text);
+
+class PointCache
+{
+  public:
+    /** Open (and lazily create) the cache rooted at @p dir. */
+    explicit PointCache(std::string dir,
+                        std::string rev = pointCacheRev());
+
+    const std::string &dir() const { return dir_; }
+    const std::string &rev() const { return rev_; }
+
+    /** Envelope file path for @p key (exists or not). */
+    std::string entryPath(const PointKey &key) const;
+
+    /**
+     * Look up @p key.  Returns the cached result, or std::nullopt on
+     * a miss — including a corrupt, truncated, version-skewed, or
+     * key-colliding entry, which is warned about, unlinked, and
+     * counted in stats().corrupt so the caller simply recomputes.
+     */
+    std::optional<SimResult> load(const PointKey &key);
+
+    /** Persist @p result under @p key (atomic tempfile + rename);
+     *  fatal() on I/O failure. */
+    void store(const PointKey &key, const SimResult &result);
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t corrupt = 0;
+        std::uint64_t stores = 0;
+    };
+    Stats stats() const;
+
+  private:
+    std::string pathFor(const std::string &hash) const;
+
+    std::string dir_;
+    std::string rev_;
+    mutable std::mutex mutex_;
+    Stats stats_;
+};
+
+} // namespace serve
+} // namespace drsim
+
+#endif // DRSIM_SERVE_POINT_CACHE_HH

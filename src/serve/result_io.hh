@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Lossless serialization of one simulation result (the "point record",
+ * `drsim-point-v1`).
+ *
+ * The sweep cache and the wire protocol both move *complete*
+ * SimResult structures — every counter, every histogram — not just
+ * the fields the schema-v2 exporter happens to print.  That is what
+ * makes served results byte-identical to locally simulated ones: a
+ * client that receives point records can reassemble the exact
+ * ExperimentResult vector a direct run would have produced and feed
+ * it through the same printers and the same resultsJson() emitter.
+ *
+ * The record is therefore a strict superset of the schema-v2
+ * per-workload object (docs/RESULTS_SCHEMA.md): schema v2 carries
+ * derived ratios and histogram summaries; the point record carries
+ * the raw counters and full histogram count vectors they derive from.
+ *
+ * Round-trip guarantees:
+ *  - integers are emitted verbatim (all counters here are far below
+ *    2^53, the exactness limit of the double-backed JSON parser);
+ *  - the single stored double (load_miss_rate) uses std::to_chars
+ *    shortest form, which parses back to the identical bit pattern;
+ *  - histograms serialize their dense count vectors; the trailing
+ *    element is nonzero by construction, so the reconstructed extent
+ *    matches exactly.
+ *
+ * parsePointRecord() is strict and reports any structural problem via
+ * fatal() (a catchable FatalError) — the cache layer treats that as a
+ * corrupt entry and falls back to recomputing.
+ *
+ * When SimResult/ProcStats/DCacheStats grow a field, this file must
+ * follow and kPointRecordVersion must be bumped (which retires every
+ * cached record); tests/test_serve.cc holds the round-trip line.
+ */
+
+#ifndef DRSIM_SERVE_RESULT_IO_HH
+#define DRSIM_SERVE_RESULT_IO_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "sim/simulator.hh"
+
+namespace drsim {
+namespace serve {
+
+/** Version tag embedded in every record ("drsim-point-v1"). */
+constexpr int kPointRecordVersion = 1;
+
+/** Serialize @p r to a compact, deterministic JSON object. */
+std::string pointRecordJson(const SimResult &r);
+
+/** Reconstruct a SimResult from a parsed record; fatal() on any
+ *  missing field, type mismatch, or version mismatch. */
+SimResult parsePointRecord(const json::Value &v);
+
+/** Convenience: parse @p text then reconstruct. */
+SimResult parsePointRecord(const std::string &text);
+
+} // namespace serve
+} // namespace drsim
+
+#endif // DRSIM_SERVE_RESULT_IO_HH

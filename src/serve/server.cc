@@ -1,0 +1,613 @@
+#include "serve/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <tuple>
+#include <utility>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "exp/registry.hh"
+#include "exp/spec_file.hh"
+#include "serve/result_io.hh"
+#include "sim/runner.hh"
+
+namespace drsim {
+namespace serve {
+
+namespace {
+
+/** Requests larger than this are hostile or broken, not sweeps. */
+constexpr std::size_t kMaxLineBytes = std::size_t(4) << 20;
+
+void
+logLine(std::uint64_t connId, const std::string &msg)
+{
+    std::fprintf(stderr, "[drsim_serve] conn %llu: %s\n",
+                 static_cast<unsigned long long>(connId), msg.c_str());
+}
+
+/** `"id":"...",` when the request carried an id, else empty. */
+std::string
+idField(const std::string &id)
+{
+    if (id.empty())
+        return "";
+    return "\"id\":\"" + json::escape(id) + "\",";
+}
+
+std::string
+u64Field(const char *key, std::uint64_t v)
+{
+    return std::string("\"") + key + "\":" + std::to_string(v);
+}
+
+} // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), service_(opts_.cacheDir, opts_.jobs)
+{
+}
+
+Server::~Server()
+{
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    for (int i = 0; i < 2; ++i) {
+        if (stopPipe_[i] >= 0)
+            ::close(stopPipe_[i]);
+    }
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (Connection &conn : connections_) {
+        if (conn.thread.joinable())
+            conn.thread.join();
+    }
+}
+
+int
+Server::start()
+{
+    if (::pipe(stopPipe_) != 0)
+        fatal("pipe: ", std::strerror(errno));
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        fatal("socket: ", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+    if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1)
+        fatal("not an IPv4 address: '", opts_.host, "'");
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        fatal("cannot bind ", opts_.host, ":", opts_.port, ": ",
+              std::strerror(errno));
+    }
+    if (::listen(listenFd_, 64) != 0)
+        fatal("listen: ", std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        fatal("getsockname: ", std::strerror(errno));
+    port_ = int(ntohs(addr.sin_port));
+    started_ = std::chrono::steady_clock::now();
+
+    std::fprintf(stderr, "[drsim_serve] listening on %s:%d\n",
+                 opts_.host.c_str(), port_);
+    std::fprintf(stderr,
+                 "[drsim_serve] worker pool: %d jobs (DRSIM_JOBS is "
+                 "read once at startup; per-request \"jobs\" is "
+                 "rejected)\n",
+                 service_.jobs());
+    std::fprintf(stderr, "[drsim_serve] cache: %s (rev %s)\n",
+                 service_.cache().dir().c_str(),
+                 service_.cache().rev().c_str());
+    return port_;
+}
+
+void
+Server::serve()
+{
+    while (!stopping_.load()) {
+        pollfd fds[2] = {
+            {listenFd_, POLLIN, 0},
+            {stopPipe_[0], POLLIN, 0},
+        };
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("poll: ", std::strerror(errno));
+        }
+        if (fds[1].revents != 0 || stopping_.load())
+            break;
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("accept: ", std::strerror(errno));
+            continue;
+        }
+        std::lock_guard<std::mutex> lock(connMutex_);
+        const std::uint64_t connId = nextConnId_++;
+        ++connectionsTotal_;
+        Connection conn;
+        conn.fd = fd;
+        conn.done = std::make_shared<std::atomic<bool>>(false);
+        conn.thread = std::thread([this, fd, connId] {
+            connectionLoop(fd, connId);
+        });
+        connections_.push_back(std::move(conn));
+        reapFinished();
+    }
+
+    // Drain: stop accepting, half-close every client for reading so
+    // its read loop ends after the request it is serving, then join.
+    ::close(listenFd_);
+    listenFd_ = -1;
+    std::vector<Connection> conns;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns.swap(connections_);
+    }
+    for (Connection &conn : conns)
+        ::shutdown(conn.fd, SHUT_RD);
+    for (Connection &conn : conns)
+        conn.thread.join();
+    std::fprintf(stderr,
+                 "[drsim_serve] shut down after %llu connections, "
+                 "%llu requests\n",
+                 static_cast<unsigned long long>(
+                     connectionsTotal_.load()),
+                 static_cast<unsigned long long>(requests_.load()));
+}
+
+void
+Server::requestStop()
+{
+    stopping_.store(true);
+    const char byte = 'x';
+    // Async-signal-safe; the return value only tells us the pipe is
+    // already full of stop requests, which is itself a stop request.
+    (void)!::write(stopPipe_[1], &byte, 1);
+}
+
+void
+Server::reapFinished()
+{
+    // Caller holds connMutex_.
+    for (std::size_t i = 0; i < connections_.size();) {
+        if (connections_[i].done->load()) {
+            connections_[i].thread.join();
+            connections_[i] = std::move(connections_.back());
+            connections_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+Server::connectionLoop(int fd, std::uint64_t connId)
+{
+    logLine(connId, "connected");
+    std::shared_ptr<std::atomic<bool>> done;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (Connection &conn : connections_) {
+            if (conn.fd == fd)
+                done = conn.done;
+        }
+    }
+
+    std::string buffer;
+    char chunk[65536];
+    bool open = true;
+    while (open) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        buffer.append(chunk, std::size_t(n));
+        std::size_t start = 0;
+        for (;;) {
+            const std::size_t nl = buffer.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            std::string line = buffer.substr(start, nl - start);
+            start = nl + 1;
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (!line.empty())
+                handleLine(fd, connId, line);
+        }
+        buffer.erase(0, start);
+        if (buffer.size() > kMaxLineBytes) {
+            sendError(fd, "", "line-too-long",
+                      "request line exceeds 4 MiB");
+            open = false;
+        }
+    }
+    ::close(fd);
+    logLine(connId, "disconnected");
+    if (done)
+        done->store(true);
+}
+
+bool
+Server::sendLine(int fd, const std::string &reply)
+{
+    std::string data = reply;
+    data += '\n';
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += std::size_t(n);
+    }
+    return true;
+}
+
+bool
+Server::sendError(int fd, const std::string &id, const char *code,
+                  const std::string &message)
+{
+    ++requestErrors_;
+    return sendLine(fd, "{\"reply\":\"error\"," + idField(id) +
+                            "\"code\":\"" + code +
+                            "\",\"message\":\"" +
+                            json::escape(message) + "\"}");
+}
+
+void
+Server::handleLine(int fd, std::uint64_t connId,
+                   const std::string &line)
+{
+    ++requests_;
+    json::Value req;
+    try {
+        req = json::parse(line);
+    } catch (const FatalError &e) {
+        logLine(connId, std::string("bad json: ") + e.what());
+        sendError(fd, "", "bad-json", e.what());
+        return;
+    }
+    if (!req.isObject()) {
+        sendError(fd, "", "bad-request",
+                  "request must be a JSON object");
+        return;
+    }
+    std::string id;
+    if (const json::Value *v = req.find("id");
+        v != nullptr && v->isString())
+        id = v->asString();
+
+    const json::Value *verb = req.find("verb");
+    if (verb == nullptr || !verb->isString()) {
+        sendError(fd, id, "bad-request",
+                  "request has no \"verb\" string");
+        return;
+    }
+
+    try {
+        if (verb->asString() == "ping") {
+            sendLine(fd, "{\"reply\":\"pong\"," + idField(id) +
+                             "\"server\":\"drsim_serve\"}");
+        } else if (verb->asString() == "stats") {
+            handleStats(fd);
+        } else if (verb->asString() == "run") {
+            handleRun(fd, connId, req, id);
+        } else {
+            sendError(fd, id, "unknown-verb",
+                      "unknown verb '" + verb->asString() + "'");
+        }
+    } catch (const FatalError &e) {
+        // Nothing the protocol layer throws for should cost the
+        // client its connection; report and read the next request.
+        logLine(connId, std::string("request failed: ") + e.what());
+        sendError(fd, id, "bad-request", e.what());
+    }
+}
+
+void
+Server::handleStats(int fd)
+{
+    const SweepService::Stats s = service_.stats();
+    const PointCache::Stats c = service_.cache().stats();
+    const double uptime =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - started_)
+            .count();
+    char uptimeBuf[32];
+    std::snprintf(uptimeBuf, sizeof(uptimeBuf), "%.3f", uptime);
+
+    std::string out = "{\"reply\":\"stats\",";
+    out += "\"uptime_seconds\":";
+    out += uptimeBuf;
+    out += ",";
+    out += u64Field("jobs", std::uint64_t(service_.jobs())) + ",";
+    out += "\"rev\":\"" + json::escape(service_.cache().rev()) +
+           "\",";
+    out += "\"cache_dir\":\"" +
+           json::escape(service_.cache().dir()) + "\",";
+    out += u64Field("connections", connectionsTotal_.load()) + ",";
+    out += u64Field("requests", requests_.load()) + ",";
+    out += u64Field("request_errors", requestErrors_.load()) + ",";
+    out += u64Field("points", s.points) + ",";
+    out += u64Field("memory_hits", s.memoryHits) + ",";
+    out += u64Field("disk_hits", s.diskHits) + ",";
+    out += u64Field("computed", s.computed) + ",";
+    out += u64Field("coalesced", s.coalesced) + ",";
+    out += u64Field("in_flight", s.inFlight) + ",";
+    out += u64Field("point_errors", s.errors) + ",";
+    out += u64Field("cache_hits", c.hits) + ",";
+    out += u64Field("cache_misses", c.misses) + ",";
+    out += u64Field("cache_corrupt", c.corrupt) + ",";
+    out += u64Field("cache_stores", c.stores);
+    out += "}";
+    sendLine(fd, out);
+}
+
+void
+Server::handleRun(int fd, std::uint64_t connId,
+                  const json::Value &req, const std::string &id)
+{
+    // Strict key validation: a typoed knob silently ignored would
+    // quietly serve the wrong sweep.  "jobs" gets its own error —
+    // the pool is sized once at startup, by design (docs/SERVER.md).
+    for (const auto &[key, value] : req.members()) {
+        (void)value;
+        if (key == "jobs") {
+            sendError(fd, id, "jobs-not-allowed",
+                      "the worker pool is sized once at daemon "
+                      "startup (DRSIM_JOBS); per-request job counts "
+                      "are not accepted");
+            return;
+        }
+        if (key != "verb" && key != "id" && key != "experiment" &&
+            key != "spec" && key != "scale" &&
+            key != "max_committed" && key != "document") {
+            sendError(fd, id, "bad-request",
+                      "unknown request key '" + key + "'");
+            return;
+        }
+    }
+
+    exp::RunContext ctx;
+    ctx.scale = opts_.scale;
+    ctx.maxCommitted = opts_.maxCommitted;
+    ctx.jobs = service_.jobs();
+    if (const json::Value *v = req.find("scale")) {
+        ctx.scale = int(v->asU64());
+        if (ctx.scale < 1) {
+            sendError(fd, id, "bad-request", "scale must be >= 1");
+            return;
+        }
+    }
+    if (const json::Value *v = req.find("max_committed"))
+        ctx.maxCommitted = v->asU64();
+    bool document = false;
+    if (const json::Value *v = req.find("document"))
+        document = v->asBool();
+
+    const json::Value *expName = req.find("experiment");
+    const json::Value *specDoc = req.find("spec");
+    if ((expName == nullptr) == (specDoc == nullptr)) {
+        sendError(fd, id, "bad-request",
+                  "run takes exactly one of \"experiment\" and "
+                  "\"spec\"");
+        return;
+    }
+
+    std::string runName;
+    std::vector<ExperimentSpec> specs;
+    auto suite = std::make_shared<std::vector<Workload>>();
+    if (expName != nullptr) {
+        const exp::ExperimentDef *def =
+            exp::findExperiment(expName->asString());
+        if (def == nullptr) {
+            sendError(fd, id, "unknown-experiment",
+                      "unknown experiment '" + expName->asString() +
+                          "'");
+            return;
+        }
+        if (def->run != nullptr) {
+            sendError(fd, id, "custom-experiment",
+                      "experiment '" + expName->asString() +
+                          "' is a custom harness; only grid "
+                          "experiments can be served");
+            return;
+        }
+        runName = def->name;
+        specs = exp::expandExperiment(*def, ctx);
+        *suite = exp::buildSuite(*def, ctx);
+    } else {
+        if (!specDoc->isObject()) {
+            sendError(fd, id, "bad-spec",
+                      "\"spec\" must be a sweep-spec object");
+            return;
+        }
+        exp::SweepSpec spec;
+        try {
+            spec = exp::parseSweepSpec(json::serialize(*specDoc));
+        } catch (const FatalError &e) {
+            sendError(fd, id, "bad-spec", e.what());
+            return;
+        }
+        runName = spec.name;
+        specs = exp::expandGrid(exp::toGrid(spec));
+        for (ExperimentSpec &s : specs)
+            s.config.maxCommitted = ctx.maxCommitted;
+        *suite = spec.suite == "classic"
+                     ? exp::classicWorkloads()
+                     : buildSpec92Suite(ctx.scale);
+    }
+
+    const std::size_t numSpecs = specs.size();
+    const std::size_t numWl = suite->size();
+    const std::size_t numPoints = numSpecs * numWl;
+    logLine(connId, "run " + runName + " scale=" +
+                        std::to_string(ctx.scale) + " points=" +
+                        std::to_string(numPoints));
+    const auto runStart = std::chrono::steady_clock::now();
+
+    std::vector<std::string> digests;
+    digests.reserve(numWl);
+    for (const Workload &w : *suite)
+        digests.push_back(programDigest(w.program));
+
+    sendLine(fd, "{\"reply\":\"ack\"," + idField(id) +
+                     "\"run\":\"" + json::escape(runName) + "\"," +
+                     u64Field("specs", numSpecs) + "," +
+                     u64Field("workloads", numWl) + "," +
+                     u64Field("points", numPoints) + "," +
+                     u64Field("scale", std::uint64_t(ctx.scale)) +
+                     "," +
+                     u64Field("max_committed", ctx.maxCommitted) +
+                     "}");
+
+    // Stream each point as it completes.  The callbacks only queue;
+    // this thread does all socket writes, so replies never interleave.
+    struct Progress
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        std::deque<std::tuple<std::size_t, std::size_t, PointOutcome>>
+            ready;
+    };
+    auto progress = std::make_shared<Progress>();
+    for (std::size_t si = 0; si < numSpecs; ++si) {
+        for (std::size_t wi = 0; wi < numWl; ++wi) {
+            PointKey key;
+            key.config = specs[si].config;
+            key.workload = (*suite)[wi].spec->name;
+            key.digest = digests[wi];
+            std::shared_ptr<const Workload> wl(suite,
+                                               &(*suite)[wi]);
+            service_.requestPoint(
+                key, wl,
+                [progress, si, wi](const PointOutcome &outcome) {
+                    std::lock_guard<std::mutex> lock(progress->m);
+                    progress->ready.emplace_back(si, wi, outcome);
+                    progress->cv.notify_one();
+                });
+        }
+    }
+
+    // Collected even when no document was requested: a point record
+    // is small and this keeps the drain loop branch-free.
+    std::vector<std::vector<SimResult>> grid(numSpecs);
+    for (auto &row : grid)
+        row.resize(numWl);
+    std::uint64_t cacheHits = 0, computed = 0, coalesced = 0;
+    std::string firstError;
+    bool writable = true;
+    for (std::size_t got = 0; got < numPoints; ++got) {
+        std::tuple<std::size_t, std::size_t, PointOutcome> item;
+        {
+            std::unique_lock<std::mutex> lock(progress->m);
+            progress->cv.wait(lock,
+                              [&] { return !progress->ready.empty(); });
+            item = std::move(progress->ready.front());
+            progress->ready.pop_front();
+        }
+        const auto &[si, wi, outcome] = item;
+        if (!outcome.ok()) {
+            if (firstError.empty())
+                firstError = outcome.error;
+            continue;
+        }
+        grid[si][wi] = outcome.result;
+        if (outcome.cacheHit)
+            ++cacheHits;
+        else if (!outcome.coalesced)
+            ++computed;
+        if (outcome.coalesced)
+            ++coalesced;
+        if (!writable)
+            continue;
+        std::string reply = "{\"reply\":\"point\"," + idField(id) +
+                            "\"spec\":\"" +
+                            json::escape(specs[si].name) +
+                            "\",\"workload\":\"" +
+                            json::escape((*suite)[wi].spec->name) +
+                            "\",\"cache_hit\":";
+        reply += outcome.cacheHit ? "true" : "false";
+        reply += ",\"coalesced\":";
+        reply += outcome.coalesced ? "true" : "false";
+        reply += ",\"computed_at_rev\":\"" +
+                 json::escape(outcome.rev) + "\",\"result\":";
+        reply += pointRecordJson(outcome.result);
+        reply += "}";
+        writable = sendLine(fd, reply);
+    }
+
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - runStart)
+            .count();
+    char secondsBuf[32];
+    std::snprintf(secondsBuf, sizeof(secondsBuf), "%.3f", seconds);
+
+    if (!firstError.empty()) {
+        logLine(connId, "run " + runName + " failed: " + firstError);
+        sendError(fd, id, "sim-failed", firstError);
+        return;
+    }
+
+    if (document && writable) {
+        std::vector<ExperimentResult> results;
+        results.reserve(numSpecs);
+        for (std::size_t si = 0; si < numSpecs; ++si) {
+            results.push_back(ExperimentResult{
+                specs[si], SuiteResult(std::move(grid[si]))});
+        }
+        const RunInfo info{runName, ctx.scale, ctx.maxCommitted};
+        writable = sendLine(
+            fd, "{\"reply\":\"document\"," + idField(id) +
+                    "\"name\":\"" + json::escape(runName) +
+                    "\",\"json\":\"" +
+                    json::escape(resultsJson(info, results)) +
+                    "\"}");
+    }
+
+    if (writable) {
+        sendLine(fd, "{\"reply\":\"done\"," + idField(id) +
+                         "\"run\":\"" + json::escape(runName) +
+                         "\"," + u64Field("points", numPoints) + "," +
+                         u64Field("cache_hits", cacheHits) + "," +
+                         u64Field("computed", computed) + "," +
+                         u64Field("coalesced", coalesced) +
+                         ",\"seconds\":" + secondsBuf + "}");
+    }
+    logLine(connId, "run " + runName + " done: " +
+                        std::to_string(numPoints) + " points, " +
+                        std::to_string(cacheHits) + " cache hits, " +
+                        std::to_string(computed) + " computed, " +
+                        std::to_string(coalesced) + " coalesced, " +
+                        secondsBuf + "s");
+}
+
+} // namespace serve
+} // namespace drsim

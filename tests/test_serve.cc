@@ -1,0 +1,560 @@
+/**
+ * @file
+ * Tests of the simulation-as-a-service layer (src/serve): the
+ * lossless point-record round trip, the content-addressed on-disk
+ * cache (persistence across a simulated daemon restart, key
+ * sensitivity, corruption recovery, code-version invalidation), the
+ * coalescing sweep service (identical concurrent requests cost one
+ * simulation), byte-identity of served artifacts against the direct
+ * runner for the table1 and fig7 reproductions, and a live-socket
+ * exercise of the NDJSON wire protocol (docs/SERVER.md) including
+ * malformed requests and the per-request jobs rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "exp/registry.hh"
+#include "exp/spec_file.hh"
+#include "serve/client.hh"
+#include "serve/point_cache.hh"
+#include "serve/result_io.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "sim/runner.hh"
+#include "workloads/kernels.hh"
+
+using namespace drsim;
+using namespace drsim::exp;
+using namespace drsim::serve;
+
+namespace {
+
+/** Self-deleting scratch directory for cache tests. */
+class TmpDir
+{
+  public:
+    explicit TmpDir(const char *tag)
+    {
+        path_ = std::filesystem::temp_directory_path() /
+                ("drsim_serve_test_" + std::string(tag) + "_" +
+                 std::to_string(::getpid()));
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+    ~TmpDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+    std::string str() const { return path_.string(); }
+
+  private:
+    std::filesystem::path path_;
+};
+
+/** A small, fast point: one suite benchmark at scale 1, capped. */
+PointKey
+smallKey(const Workload &w, int regs = 64)
+{
+    PointKey key;
+    key.config = paperConfig(4, regs);
+    key.config.maxCommitted = 2000;
+    key.workload = w.spec->name;
+    key.digest = programDigest(w.program);
+    return key;
+}
+
+/**
+ * Run a grid experiment entirely through a SweepService (fan out all
+ * points, reassemble in grid order) and return the schema-v2 JSON —
+ * the served counterpart of runExperiments() + resultsJson().
+ */
+std::string
+servedResultsJson(SweepService &service, const ExperimentDef &def,
+                  const RunContext &ctx)
+{
+    const std::vector<ExperimentSpec> specs =
+        expandExperiment(def, ctx);
+    auto suite = std::make_shared<std::vector<Workload>>(
+        buildSuite(def, ctx));
+
+    std::vector<std::string> digests;
+    for (const Workload &w : *suite)
+        digests.push_back(programDigest(w.program));
+
+    std::vector<std::vector<SimResult>> grid(specs.size());
+    for (auto &row : grid)
+        row.resize(suite->size());
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t remaining = specs.size() * suite->size();
+    for (std::size_t si = 0; si < specs.size(); ++si) {
+        for (std::size_t wi = 0; wi < suite->size(); ++wi) {
+            PointKey key;
+            key.config = specs[si].config;
+            key.workload = (*suite)[wi].spec->name;
+            key.digest = digests[wi];
+            std::shared_ptr<const Workload> wl(suite, &(*suite)[wi]);
+            service.requestPoint(
+                key, wl, [&, si, wi](const PointOutcome &outcome) {
+                    EXPECT_TRUE(outcome.ok()) << outcome.error;
+                    grid[si][wi] = outcome.result;
+                    std::lock_guard<std::mutex> lock(m);
+                    --remaining;
+                    cv.notify_one();
+                });
+        }
+    }
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return remaining == 0; });
+    }
+
+    std::vector<ExperimentResult> results;
+    for (std::size_t si = 0; si < specs.size(); ++si) {
+        results.push_back(ExperimentResult{
+            specs[si], SuiteResult(std::move(grid[si]))});
+    }
+    const RunInfo info{def.name, ctx.scale, ctx.maxCommitted};
+    return resultsJson(info, results);
+}
+
+std::string
+directResultsJson(const ExperimentDef &def, const RunContext &ctx)
+{
+    const std::vector<ExperimentSpec> specs =
+        expandExperiment(def, ctx);
+    const std::vector<Workload> suite = buildSuite(def, ctx);
+    const std::vector<ExperimentResult> results =
+        runExperiments(specs, suite, 4);
+    const RunInfo info{def.name, ctx.scale, ctx.maxCommitted};
+    return resultsJson(info, results);
+}
+
+TEST(PointRecord, RoundTripsEveryField)
+{
+    const Workload w = buildWorkload("tomcatv", 1);
+    PointKey key = smallKey(w);
+    const SimResult direct = simulate(key.config, w);
+
+    const std::string text = pointRecordJson(direct);
+    const SimResult parsed = parsePointRecord(text);
+
+    // The serialization is deterministic, so equal records mean
+    // equal serializations — and it covers every field.
+    EXPECT_EQ(pointRecordJson(parsed), text);
+    EXPECT_EQ(parsed.workload, direct.workload);
+    EXPECT_EQ(parsed.fpIntensive, direct.fpIntensive);
+    EXPECT_EQ(parsed.stopReason, direct.stopReason);
+    EXPECT_EQ(parsed.proc.cycles, direct.proc.cycles);
+    EXPECT_EQ(parsed.proc.committed, direct.proc.committed);
+    EXPECT_EQ(parsed.proc.dqDepth.counts(),
+              direct.proc.dqDepth.counts());
+    EXPECT_EQ(parsed.lifetime[0].counts(),
+              direct.lifetime[0].counts());
+    EXPECT_EQ(parsed.dcache.loads, direct.dcache.loads);
+    EXPECT_EQ(parsed.loadMissRate, direct.loadMissRate);
+}
+
+TEST(PointRecord, RejectsVersionSkewAndCorruption)
+{
+    const Workload w = buildWorkload("compress", 1);
+    const SimResult r = simulate(smallKey(w).config, w);
+    std::string text = pointRecordJson(r);
+
+    EXPECT_THROW(parsePointRecord("{\"record\":\"drsim-point-v999\"}"),
+                 FatalError);
+    EXPECT_THROW(parsePointRecord("[1,2,3]"), FatalError);
+    // Truncation cannot parse.
+    EXPECT_THROW(parsePointRecord(text.substr(0, text.size() / 2)),
+                 FatalError);
+}
+
+TEST(JsonSerialize, RoundTripsCompactDocuments)
+{
+    const std::string doc =
+        "{\"name\":\"x\",\"axes\":{\"width\":[4,8],\"model\":"
+        "[\"precise\"]},\"export\":false,\"pi\":3.25,\"neg\":-7,"
+        "\"big\":9007199254740992,\"null\":null}";
+    EXPECT_EQ(json::serialize(json::parse(doc)), doc);
+}
+
+TEST(PointCache, PersistsAcrossReopen)
+{
+    TmpDir dir("persist");
+    const Workload w = buildWorkload("espresso", 1);
+    const PointKey key = smallKey(w);
+    const SimResult r = simulate(key.config, w);
+
+    {
+        PointCache cache(dir.str(), "test-rev");
+        EXPECT_FALSE(cache.load(key).has_value());
+        cache.store(key, r);
+        EXPECT_EQ(cache.stats().stores, 1u);
+    }
+    // A fresh instance over the same directory — the daemon-restart
+    // case — must serve the stored result.
+    PointCache reopened(dir.str(), "test-rev");
+    const auto hit = reopened.load(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(pointRecordJson(*hit), pointRecordJson(r));
+    EXPECT_EQ(reopened.stats().hits, 1u);
+    EXPECT_EQ(reopened.stats().misses, 0u);
+}
+
+TEST(PointCache, KeyCoversEveryResultAffectingInput)
+{
+    const Workload w = buildWorkload("compress", 1);
+    const PointKey base = smallKey(w);
+    const std::string baseText = pointKeyText(base, "r");
+
+    PointKey regs = base;
+    regs.config.numPhysRegs = 128;
+    EXPECT_NE(pointKeyText(regs, "r"), baseText);
+
+    PointKey model = base;
+    model.config.exceptionModel = ExceptionModel::Imprecise;
+    EXPECT_NE(pointKeyText(model, "r"), baseText);
+
+    PointKey digest = base;
+    digest.digest = "0000000000000000";
+    EXPECT_NE(pointKeyText(digest, "r"), baseText);
+
+    // Different workload *programs* (not just names) get different
+    // digests, so a generator change silently invalidates.
+    EXPECT_NE(programDigest(buildWorkload("compress", 1).program),
+              programDigest(buildWorkload("compress", 2).program));
+
+    // The code version is part of the key.
+    EXPECT_NE(pointKeyText(base, "r2"), baseText);
+
+    // The two scheduler-implementation knobs are excluded: they are
+    // proven bit-identical, so both share cache entries.
+    PointKey sched = base;
+    sched.config.scanScheduler = !sched.config.scanScheduler;
+    sched.config.stallSkipAhead = !sched.config.stallSkipAhead;
+    EXPECT_EQ(pointKeyText(sched, "r"), baseText);
+}
+
+TEST(PointCache, CorruptEntryRecomputesInsteadOfCrashing)
+{
+    TmpDir dir("corrupt");
+    const Workload w = buildWorkload("compress", 1);
+    const PointKey key = smallKey(w);
+    const SimResult r = simulate(key.config, w);
+
+    PointCache cache(dir.str(), "test-rev");
+    cache.store(key, r);
+    const std::string path = cache.entryPath(key);
+
+    // Truncate the envelope mid-file.
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\"drsim_cache\":1,\"key\":\"tru";
+    }
+    EXPECT_FALSE(cache.load(key).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+    // The bad entry was unlinked so it cannot poison the next load.
+    EXPECT_FALSE(std::filesystem::exists(path));
+
+    // Recompute-and-store works again.
+    cache.store(key, r);
+    EXPECT_TRUE(cache.load(key).has_value());
+
+    // Arbitrary garbage is handled the same way.
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "not json at all";
+    }
+    EXPECT_FALSE(cache.load(key).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 2u);
+}
+
+TEST(PointCache, RevBumpRetiresOldEntries)
+{
+    TmpDir dir("rev");
+    const Workload w = buildWorkload("compress", 1);
+    const PointKey key = smallKey(w);
+    const SimResult r = simulate(key.config, w);
+
+    PointCache v1(dir.str(), "sim-v1");
+    v1.store(key, r);
+    ASSERT_TRUE(v1.load(key).has_value());
+
+    // Same directory, bumped code version: miss, not a wrong hit.
+    PointCache v2(dir.str(), "sim-v2");
+    EXPECT_FALSE(v2.load(key).has_value());
+}
+
+TEST(SweepService, IdenticalConcurrentRequestsCoalesce)
+{
+    TmpDir dir("coalesce");
+    // One worker, and a plug point whose completion callback blocks
+    // until every coalescing request has been submitted: the worker
+    // cannot reach the shared point's compute task early, so all
+    // five requests deterministically find the in-flight entry.
+    SweepService service(dir.str(), 1);
+
+    const Workload w = buildWorkload("tomcatv", 2);
+    const PointKey key = smallKey(w);
+    auto wl = std::make_shared<const Workload>(w);
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool submitted = false;
+    std::size_t remaining = 5;
+    std::size_t coalesced = 0;
+    std::vector<std::string> records;
+    service.requestPoint(smallKey(w, 128), wl,
+                         [&](const PointOutcome &out) {
+                             EXPECT_TRUE(out.ok()) << out.error;
+                             std::unique_lock<std::mutex> lock(m);
+                             cv.wait(lock, [&] { return submitted; });
+                         });
+    for (std::size_t i = 0; i < 5; ++i) {
+        service.requestPoint(key, wl, [&](const PointOutcome &out) {
+            EXPECT_TRUE(out.ok()) << out.error;
+            std::lock_guard<std::mutex> lock(m);
+            records.push_back(pointRecordJson(out.result));
+            if (out.coalesced)
+                ++coalesced;
+            --remaining;
+            cv.notify_one();
+        });
+    }
+    {
+        std::lock_guard<std::mutex> lock(m);
+        submitted = true;
+        cv.notify_all();
+    }
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return remaining == 0; });
+    }
+
+    const SweepService::Stats stats = service.stats();
+    EXPECT_EQ(stats.points, 6u);          // plug + 5 shared
+    EXPECT_EQ(stats.computed, 2u);        // one simulation per key
+    EXPECT_EQ(stats.coalesced, 4u);
+    EXPECT_EQ(stats.inFlight, 0u);
+    EXPECT_EQ(service.cache().stats().stores, 2u);
+    EXPECT_EQ(coalesced, 4u);
+    for (const std::string &rec : records)
+        EXPECT_EQ(rec, records.front());
+
+    // A later identical request is a memory hit, still no simulation.
+    const PointOutcome again = service.runPoint(key, w);
+    EXPECT_TRUE(again.cacheHit);
+    EXPECT_EQ(service.stats().computed, 2u);
+    EXPECT_EQ(service.stats().memoryHits, 1u);
+}
+
+TEST(SweepService, ServedTable1IsByteIdenticalToDirect)
+{
+    TmpDir dir("table1");
+    const ExperimentDef *def = findExperiment("table1");
+    ASSERT_NE(def, nullptr);
+    RunContext ctx;
+    ctx.scale = 1;
+    ctx.maxCommitted = 2000;
+    ctx.jobs = 4;
+
+    const std::string direct = directResultsJson(*def, ctx);
+    std::string cold, warm, reopened;
+    {
+        SweepService service(dir.str(), 4);
+        cold = servedResultsJson(service, *def, ctx);
+        warm = servedResultsJson(service, *def, ctx);
+        const SweepService::Stats stats = service.stats();
+        EXPECT_EQ(stats.computed, stats.points / 2);
+        EXPECT_EQ(stats.memoryHits + stats.coalesced,
+                  stats.points / 2);
+    }
+    {
+        // Fresh service over the same cache directory: the simulated
+        // daemon restart.  Everything must come from disk.
+        SweepService service(dir.str(), 4);
+        reopened = servedResultsJson(service, *def, ctx);
+        EXPECT_EQ(service.stats().computed, 0u);
+        EXPECT_EQ(service.cache().stats().hits,
+                  service.stats().points);
+    }
+    EXPECT_EQ(cold, direct);
+    EXPECT_EQ(warm, direct);
+    EXPECT_EQ(reopened, direct);
+}
+
+TEST(SweepService, ServedFig7IsByteIdenticalToDirect)
+{
+    TmpDir dir("fig7");
+    const ExperimentDef *def = findExperiment("fig7");
+    ASSERT_NE(def, nullptr);
+    RunContext ctx;
+    ctx.scale = 1;
+    ctx.maxCommitted = 1000;
+    ctx.jobs = 4;
+
+    const std::string direct = directResultsJson(*def, ctx);
+    SweepService service(dir.str(), 4);
+    EXPECT_EQ(servedResultsJson(service, *def, ctx), direct);
+    EXPECT_EQ(servedResultsJson(service, *def, ctx), direct);
+    EXPECT_EQ(service.stats().computed, service.stats().points / 2);
+}
+
+/** Everything the protocol promises, over a real loopback socket. */
+TEST(Protocol, EndToEndOverLoopback)
+{
+    TmpDir dir("socket");
+    ServerOptions opts;
+    opts.port = 0;
+    opts.cacheDir = dir.str();
+    opts.jobs = 4;
+    opts.scale = 1;
+    opts.maxCommitted = 2000;
+    Server server(std::move(opts));
+    const int port = server.start();
+    std::thread serving([&server] { server.serve(); });
+    const std::string hostPort =
+        "127.0.0.1:" + std::to_string(port);
+
+    {
+        ServeClient client(hostPort);
+
+        client.sendLine("{\"verb\":\"ping\",\"id\":\"t1\"}");
+        json::Value reply = client.readReply();
+        EXPECT_EQ(reply.at("reply").asString(), "pong");
+        EXPECT_EQ(reply.at("id").asString(), "t1");
+
+        // Malformed JSON gets an error reply, not a disconnect.
+        client.sendLine("this is not json {");
+        reply = client.readReply();
+        EXPECT_EQ(reply.at("reply").asString(), "error");
+        EXPECT_EQ(reply.at("code").asString(), "bad-json");
+
+        // The connection is still usable afterwards.
+        client.sendLine("{\"verb\":\"ping\"}");
+        EXPECT_EQ(client.readReply().at("reply").asString(), "pong");
+
+        // Per-request job counts are rejected by design.
+        client.sendLine("{\"verb\":\"run\",\"experiment\":\"table1\","
+                        "\"jobs\":8}");
+        reply = client.readReply();
+        EXPECT_EQ(reply.at("reply").asString(), "error");
+        EXPECT_EQ(reply.at("code").asString(), "jobs-not-allowed");
+
+        client.sendLine("{\"verb\":\"run\",\"experiment\":\"nope\"}");
+        EXPECT_EQ(client.readReply().at("code").asString(),
+                  "unknown-experiment");
+        client.sendLine("{\"verb\":\"run\",\"experiment\":\"micro\"}");
+        EXPECT_EQ(client.readReply().at("code").asString(),
+                  "custom-experiment");
+        client.sendLine("{\"verb\":\"frobnicate\"}");
+        EXPECT_EQ(client.readReply().at("code").asString(),
+                  "unknown-verb");
+        client.sendLine("{\"verb\":\"run\",\"experiment\":\"table1\","
+                        "\"typo\":1}");
+        EXPECT_EQ(client.readReply().at("code").asString(),
+                  "bad-request");
+
+        // A one-spec sweep over the full suite, with the document.
+        const std::string run =
+            "{\"verb\":\"run\",\"id\":\"r1\",\"spec\":"
+            "{\"name\":\"tiny\",\"axes\":{\"width\":[4],"
+            "\"regs\":[64]}},\"scale\":1,\"max_committed\":2000,"
+            "\"document\":true}";
+        client.sendLine(run);
+        reply = client.readReply();
+        ASSERT_EQ(reply.at("reply").asString(), "ack");
+        const std::uint64_t points = reply.at("points").asU64();
+        EXPECT_EQ(points, buildSpec92Suite(1).size());
+
+        std::uint64_t got = 0, coldHits = 0;
+        std::string document;
+        for (;;) {
+            reply = client.readReply();
+            const std::string &kind = reply.at("reply").asString();
+            if (kind == "point") {
+                ++got;
+                if (reply.at("cache_hit").asBool())
+                    ++coldHits;
+                EXPECT_EQ(reply.at("computed_at_rev").asString(),
+                          pointCacheRev());
+                // Each record must parse back losslessly.
+                const SimResult r =
+                    parsePointRecord(reply.at("result"));
+                EXPECT_EQ(r.workload,
+                          reply.at("workload").asString());
+            } else if (kind == "document") {
+                document = reply.at("json").asString();
+            } else {
+                ASSERT_EQ(kind, "done");
+                break;
+            }
+        }
+        EXPECT_EQ(got, points);
+        EXPECT_EQ(coldHits, 0u);
+        EXPECT_EQ(reply.at("cache_hits").asU64(), 0u);
+        EXPECT_EQ(reply.at("computed").asU64(), points);
+
+        // The served document is the direct runner's, byte for byte.
+        SweepSpec spec;
+        spec.name = "tiny";
+        spec.axes.push_back({"width", {4}, {}});
+        spec.axes.push_back({"regs", {64}, {}});
+        std::vector<ExperimentSpec> specs = expandGrid(toGrid(spec));
+        for (ExperimentSpec &s : specs)
+            s.config.maxCommitted = 2000;
+        const std::vector<ExperimentResult> results =
+            runExperiments(specs, buildSpec92Suite(1), 4);
+        EXPECT_EQ(document,
+                  resultsJson(RunInfo{"tiny", 1, 2000}, results));
+
+        // Rerun: every point served from cache, same records.
+        client.sendLine(run);
+        ASSERT_EQ(client.readReply().at("reply").asString(), "ack");
+        std::uint64_t warmHits = 0;
+        for (;;) {
+            reply = client.readReply();
+            const std::string &kind = reply.at("reply").asString();
+            if (kind == "point") {
+                if (reply.at("cache_hit").asBool())
+                    ++warmHits;
+            } else if (kind == "done") {
+                EXPECT_EQ(reply.at("cache_hits").asU64(), points);
+                EXPECT_EQ(reply.at("computed").asU64(), 0u);
+                break;
+            } else {
+                ASSERT_EQ(kind, "document");
+                EXPECT_EQ(reply.at("json").asString(), document);
+            }
+        }
+        EXPECT_EQ(warmHits, points);
+
+        // Stats reflect all of the above.
+        client.sendLine("{\"verb\":\"stats\"}");
+        reply = client.readReply();
+        EXPECT_EQ(reply.at("reply").asString(), "stats");
+        EXPECT_EQ(reply.at("jobs").asU64(), 4u);
+        EXPECT_EQ(reply.at("computed").asU64(), points);
+        EXPECT_EQ(reply.at("memory_hits").asU64(), points);
+        EXPECT_EQ(reply.at("in_flight").asU64(), 0u);
+    }
+
+    server.requestStop();
+    serving.join();
+}
+
+} // namespace

@@ -34,6 +34,7 @@
 #include "common/logging.hh"
 #include "exp/registry.hh"
 #include "exp/spec_file.hh"
+#include "serve/client.hh"
 
 namespace {
 
@@ -62,6 +63,10 @@ usage(std::FILE *to)
         "                      (default $DRSIM_MAX_COMMITTED)\n"
         "  --jobs N            worker threads, 0 = auto\n"
         "                      (default $DRSIM_JOBS)\n"
+        "  --server HOST:PORT  run via a drsim_serve daemon instead\n"
+        "                      of simulating locally (docs/SERVER.md)\n"
+        "  --server-stats HOST:PORT\n"
+        "                      print the daemon's stats reply and exit\n"
         "  --help              this text\n");
 }
 
@@ -132,7 +137,8 @@ dryRun(const ExperimentDef &def, const RunContext &ctx,
 
 int
 runSpecFilePath(const std::string &path, const RunContext &ctx,
-                const std::string &filter, bool dry_run)
+                const std::string &filter, bool dry_run,
+                const std::string &server)
 {
     std::ifstream in(path);
     if (!in) {
@@ -155,6 +161,8 @@ runSpecFilePath(const std::string &path, const RunContext &ctx,
         }
         return 0;
     }
+    if (!server.empty())
+        return serve::runSweepSpecViaServer(spec, ctx, server);
     return runSweepSpec(spec, ctx, filter);
 }
 
@@ -169,6 +177,8 @@ main(int argc, char **argv)
     bool list = false;
     bool dry_run = false;
     std::string filter;
+    std::string server;
+    std::string server_stats;
     std::vector<std::string> spec_files;
     std::vector<std::string> names;
 
@@ -219,6 +229,10 @@ main(int argc, char **argv)
                 value_of(i, "--max-committed"), nullptr, 10);
         } else if (std::strcmp(arg, "--jobs") == 0) {
             ctx.jobs = std::atoi(value_of(i, "--jobs"));
+        } else if (std::strcmp(arg, "--server") == 0) {
+            server = value_of(i, "--server");
+        } else if (std::strcmp(arg, "--server-stats") == 0) {
+            server_stats = value_of(i, "--server-stats");
         } else if (arg[0] == '-') {
             std::fprintf(stderr, "drsim_bench: unknown option '%s'\n",
                          arg);
@@ -229,9 +243,33 @@ main(int argc, char **argv)
         }
     }
 
+    if (!server_stats.empty()) {
+        try {
+            return serve::printServerStats(server_stats);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "drsim_bench: %s\n", e.what());
+            return 1;
+        }
+    }
     if (list) {
         listExperiments();
         return 0;
+    }
+    if (!server.empty()) {
+        // Served runs reproduce the full grid byte for byte; a
+        // filtered subset is a local-audit feature (and the daemon
+        // sizes its own pool, so --jobs has nothing to apply to).
+        if (!filter.empty() || dry_run) {
+            std::fprintf(stderr,
+                         "drsim_bench: --filter/--dry-run cannot be "
+                         "combined with --server\n");
+            return 2;
+        }
+        if (ctx.jobs != 0) {
+            warn("--jobs is ignored with --server; the daemon's pool "
+                 "was sized at its startup (DRSIM_JOBS)");
+            ctx.jobs = 0;
+        }
     }
     if (names.empty() && spec_files.empty()) {
         if (dry_run) {
@@ -261,13 +299,17 @@ main(int argc, char **argv)
 
     try {
         for (const ExperimentDef *def : defs) {
-            const int rc = dry_run ? dryRun(*def, ctx, filter)
-                                   : runExperiment(*def, ctx, filter);
+            const int rc =
+                dry_run ? dryRun(*def, ctx, filter)
+                : !server.empty()
+                    ? serve::runExperimentViaServer(*def, ctx, server)
+                    : runExperiment(*def, ctx, filter);
             if (rc != 0)
                 return rc;
         }
         for (const std::string &path : spec_files) {
-            const int rc = runSpecFilePath(path, ctx, filter, dry_run);
+            const int rc = runSpecFilePath(path, ctx, filter, dry_run,
+                                           server);
             if (rc != 0)
                 return rc;
         }
