@@ -1,6 +1,7 @@
 #include "stats.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "logging.hh"
 
@@ -83,6 +84,40 @@ densityPercentile(const std::vector<double> &density, double fraction)
             return i;
     }
     return density.empty() ? 0 : density.size() - 1;
+}
+
+double
+tCritical95(std::size_t dof)
+{
+    // Two-sided 95% quantiles of the t distribution, dof 1..30.
+    static constexpr double kTable[30] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (dof < 1)
+        fatal("t distribution needs at least one degree of freedom");
+    if (dof <= 30)
+        return kTable[dof - 1];
+    return 1.96;
+}
+
+double
+ci95HalfWidth(const std::vector<double> &samples)
+{
+    const std::size_t n = samples.size();
+    if (n < 2)
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples)
+        sum += s;
+    const double mean = sum / double(n);
+    double ss = 0.0;
+    for (double s : samples)
+        ss += (s - mean) * (s - mean);
+    const double variance = ss / double(n - 1);
+    return tCritical95(n - 1) * std::sqrt(variance / double(n));
 }
 
 std::vector<double>

@@ -117,6 +117,22 @@ densityPercentile(const std::vector<double> &density, double fraction);
  */
 std::vector<double> coverageCurve(const std::vector<double> &density);
 
+/**
+ * Two-sided 95% Student-t critical value for @p dof degrees of
+ * freedom (tabulated through 30, the normal quantile 1.96 beyond).
+ * The sampling driver uses it for per-window IPC confidence
+ * intervals; @p dof must be >= 1.
+ */
+double tCritical95(std::size_t dof);
+
+/**
+ * Half-width of the 95% confidence interval of the mean of
+ * @p samples (t-distribution, sample standard deviation).  Returns
+ * 0 for fewer than two samples — one window gives no variance
+ * estimate, and reporting 0 keeps the field well-defined.
+ */
+double ci95HalfWidth(const std::vector<double> &samples);
+
 } // namespace drsim
 
 #endif // DRSIM_COMMON_STATS_HH

@@ -25,6 +25,29 @@ enum class ExceptionModel : std::uint8_t {
 
 const char *exceptionModelName(ExceptionModel model);
 
+/**
+ * SMARTS-style interval sampling (see DESIGN.md §5h).  All lengths
+ * are architectural instruction counts.  Each sampling period of
+ * @ref interval instructions is split into a functional fast-forward
+ * of (interval - warmup - window), a detailed but histogram-gated
+ * warm-up of @ref warmup, and a measured window of @ref window whose
+ * commit IPC contributes one sample to the estimate.  interval == 0
+ * disables sampling (full-detail run, the default).
+ */
+struct SamplingConfig
+{
+    /** Period length; 0 = sampling off. */
+    std::uint64_t interval = 0;
+    /** Measured-window length per period. */
+    std::uint64_t window = 0;
+    /** Detailed warm-up before each measured window. */
+    std::uint64_t warmup = 0;
+
+    bool enabled() const { return interval != 0; }
+
+    bool operator==(const SamplingConfig &) const = default;
+};
+
 struct CoreConfig
 {
     /** Maximum instructions issued per cycle (4 or 8 in the paper). */
@@ -100,8 +123,14 @@ struct CoreConfig
     bool stallSkipAhead = true;
     /// @}
 
-    /** Stop after this many committed instructions (0 = run to halt). */
+    /** Stop after this many committed instructions (0 = run to halt).
+     *  Under sampling this caps the total architectural instructions
+     *  advanced (fast-forwarded + detailed), keeping the run length
+     *  comparable to the full-detail run it approximates. */
     std::uint64_t maxCommitted = 0;
+
+    /** Interval sampling; disabled by default (full detail). */
+    SamplingConfig sampling;
 
     /** Watchdog: abort if no instruction commits for this many cycles
      *  (0 disables). Catches machine deadlocks in testing. */

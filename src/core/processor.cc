@@ -128,6 +128,40 @@ Processor::run()
 }
 
 void
+Processor::runDetailed(std::uint64_t target_committed)
+{
+    const bool skip = eventScheduler_ && config_.stallSkipAhead;
+    while (!done() && stats_.committed < target_committed) {
+        tick();
+        if (skip && !done() && stats_.committed < target_committed)
+            skipStallCycles();
+    }
+}
+
+std::uint64_t
+Processor::fastForward(std::uint64_t n)
+{
+    // Drain: stop fetching and let the in-flight window resolve.
+    // Outstanding branches execute (possibly rolling the emulator
+    // back), so once the window empties the emulator's speculative
+    // state has converged to the architectural state and no live
+    // checkpoints remain.
+    draining_ = true;
+    while (!done() && !window_.empty())
+        tick();
+    draining_ = false;
+    if (done())
+        return 0;
+
+    // Fetch restarts cold after the jump: the last-fetched-line
+    // memo and any pending instruction-cache stall refer to the
+    // pre-jump PC.
+    lastFetchLineValid_ = false;
+    icacheStallUntil_ = 0;
+    return emu_.fastForward(n);
+}
+
+void
 Processor::skipStallCycles()
 {
     // A cycle may be skipped only when a real tick would provably
@@ -154,7 +188,7 @@ Processor::skipStallCycles()
     // cycle, mirroring insertStage's check order exactly.
     CycleCause cause = CycleCause::OperandWait;
     bool icache_bound = false;
-    if (emu_.fetchBlocked()) {
+    if (draining_ || emu_.fetchBlocked()) {
         cause = CycleCause::FetchBlocked;
     } else if (now_ + 1 < icacheStallUntil_) {
         cause = CycleCause::ICacheStall;
@@ -235,12 +269,12 @@ Processor::applyStallCycles(Cycle skipped, CycleCause cause)
         rename_.freeCount(RegClass::Fp) == 0) {
         stats_.noFreeRegCycles += skipped;
     }
-    if (config_.collectOccupancyHistograms) {
+    if (config_.collectOccupancyHistograms && !statsGated_) {
         stats_.dqDepth.addSamples(dqOccupancy(), skipped);
         stats_.windowDepth.addSamples(window_.size(), skipped);
         stats_.storeQueueDepth.addSamples(storeQueue_.size(), skipped);
     }
-    if (!config_.collectLiveHistograms)
+    if (!config_.collectLiveHistograms || statsGated_)
         return;
     for (int c = 0; c < kNumRegClasses; ++c) {
         const LiveCounts lc = rename_.liveCounts(RegClass(c));
@@ -1058,7 +1092,7 @@ Processor::insertStage()
 
     int budget = config_.insertWidth();
     while (budget > 0) {
-        if (emu_.fetchBlocked()) {
+        if (draining_ || emu_.fetchBlocked()) {
             obs_.fetchBlocked = true;
             break;
         }
@@ -1222,12 +1256,12 @@ Processor::sampleStats()
         rename_.freeCount(RegClass::Fp) == 0) {
         ++stats_.noFreeRegCycles;
     }
-    if (config_.collectOccupancyHistograms) {
+    if (config_.collectOccupancyHistograms && !statsGated_) {
         stats_.dqDepth.addSample(dqOccupancy());
         stats_.windowDepth.addSample(window_.size());
         stats_.storeQueueDepth.addSample(storeQueue_.size());
     }
-    if (!config_.collectLiveHistograms)
+    if (!config_.collectLiveHistograms || statsGated_)
         return;
     for (int c = 0; c < kNumRegClasses; ++c) {
         const LiveCounts lc = rename_.liveCounts(RegClass(c));

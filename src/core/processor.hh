@@ -201,6 +201,35 @@ class Processor
     /** Run until the program halts or the instruction limit hits. */
     void run();
 
+    /**
+     * Run detailed until @p target_committed instructions have
+     * committed (cumulative, against stats().committed) or the run
+     * ends.  Uses the same stall skip-ahead fast path as run().
+     */
+    void runDetailed(std::uint64_t target_committed);
+
+    /**
+     * Sampling fast-forward: drain the pipeline (no new fetches until
+     * the in-flight window empties, resolving every outstanding
+     * branch), then functionally execute up to @p n instructions on
+     * the emulator with the timing model switched off.  Caches,
+     * predictor tables, and the register file keep their state, so a
+     * subsequent detailed warm-up starts from a still-warm machine.
+     * Returns the number of instructions fast-forwarded (less than
+     * @p n when the program's halt is closer than @p n, zero when the
+     * drain itself ended the run).  Simulated time does not advance
+     * during the functional phase.
+     */
+    std::uint64_t fastForward(std::uint64_t n);
+
+    /**
+     * Gate the per-cycle occupancy/live histograms (sampling warm-up:
+     * the machine runs detailed but the distribution stats must only
+     * reflect measured windows).  Cycle/cause counters are never
+     * gated, so sum(causeCycles) == cycles always holds.
+     */
+    void setStatsGate(bool gated) { statsGated_ = gated; }
+
     bool done() const { return stopReason_ != StopReason::Running; }
     StopReason stopReason() const { return stopReason_; }
 
@@ -464,6 +493,10 @@ class Processor
     bool lastFetchLineValid_ = false;
     Addr lastFetchLine_ = 0;
     Cycle icacheStallUntil_ = 0;
+    /** fastForward() drain: the insert stage fetches nothing. */
+    bool draining_ = false;
+    /** Histogram gate for sampling warm-up (see setStatsGate). */
+    bool statsGated_ = false;
     /// @}
 
     StopReason stopReason_ = StopReason::Running;

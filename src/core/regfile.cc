@@ -25,6 +25,16 @@ CoreConfig::validate() const
     if (numPhysRegs < kNumVirtualRegs)
         fatal("fewer than ", kNumVirtualRegs, " physical registers "
               "deadlocks the machine (paper Section 3.1)");
+    if (sampling.enabled()) {
+        if (sampling.window == 0)
+            fatal("sampling needs a nonzero measured window");
+        if (sampling.interval <= sampling.warmup + sampling.window) {
+            fatal("sampling interval (", sampling.interval,
+                  ") must exceed warmup + window (", sampling.warmup,
+                  " + ", sampling.window,
+                  "): nothing would be fast-forwarded");
+        }
+    }
     dcache.validate();
     icache.validate();
 }

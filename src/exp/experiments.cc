@@ -908,6 +908,10 @@ makeExperimentDefs()
          "tracked simulator-speed benchmark (scan vs event "
          "scheduler)",
          nullptr, nullptr, nullptr, false, runSimspeed},
+        {"sampling_validate", nullptr,
+         "sampled-mode accuracy check: 95% CI vs full-detail IPC "
+         "on every workload",
+         nullptr, nullptr, nullptr, false, runSamplingValidate},
         {"micro", nullptr,
          "google-benchmark microbenchmarks of simulator components",
          nullptr, nullptr, nullptr, false, microStub},

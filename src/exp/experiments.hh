@@ -22,6 +22,11 @@ std::vector<ExperimentDef> makeExperimentDefs();
 /** The simulator-speed benchmark harness (simspeed.cc). */
 int runSimspeed(const RunContext &ctx);
 
+/** The sampled-simulation accuracy check (simspeed.cc): sampled IPC
+ *  estimate vs full-detail IPC on every suite workload; nonzero exit
+ *  when any workload's 95% CI misses the full-run IPC. */
+int runSamplingValidate(const RunContext &ctx);
+
 } // namespace detail
 } // namespace exp
 } // namespace drsim

@@ -1,5 +1,6 @@
 #include "exp/registry.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -21,7 +22,55 @@ RunContext::fromEnv()
     ctx.maxCommitted = envU64("DRSIM_MAX_COMMITTED", 0);
     const char *dir = std::getenv("DRSIM_RESULTS_DIR");
     ctx.resultsDir = dir != nullptr ? dir : ".";
+    const char *sample = std::getenv("DRSIM_SAMPLE");
+    if (sample != nullptr && sample[0] != '\0')
+        ctx.sampling = parseSamplingSpec(sample);
     return ctx;
+}
+
+SamplingConfig
+parseSamplingSpec(const std::string &text)
+{
+    std::uint64_t fields[3] = {0, 0, 0};
+    int nfields = 0;
+    std::size_t pos = 0;
+    bool trailing = false;
+    while (nfields < 3) {
+        const std::size_t colon = text.find(':', pos);
+        const std::string part = text.substr(
+            pos, colon == std::string::npos ? std::string::npos
+                                            : colon - pos);
+        if (part.empty() ||
+            part.find_first_not_of("0123456789") != std::string::npos) {
+            fatal("bad sampling spec '", text,
+                  "': expected INTERVAL[:WINDOW[:WARMUP]] with "
+                  "decimal instruction counts");
+        }
+        fields[nfields++] = std::strtoull(part.c_str(), nullptr, 10);
+        trailing = colon != std::string::npos;
+        if (!trailing)
+            break;
+        pos = colon + 1;
+    }
+    if (trailing)
+        fatal("bad sampling spec '", text, "': too many fields");
+
+    SamplingConfig sc;
+    sc.interval = fields[0];
+    if (sc.interval == 0)
+        fatal("bad sampling spec '", text, "': interval must be > 0");
+    sc.window = nfields >= 2 ? fields[1]
+                             : std::max<std::uint64_t>(
+                                   sc.interval / 20, 1);
+    sc.warmup = nfields >= 3 ? fields[2] : sc.window;
+    if (sc.window == 0)
+        fatal("bad sampling spec '", text, "': window must be > 0");
+    if (sc.interval <= sc.warmup + sc.window) {
+        fatal("bad sampling spec '", text, "': interval (",
+              sc.interval, ") must exceed warmup + window (",
+              sc.warmup, " + ", sc.window, ")");
+    }
+    return sc;
 }
 
 namespace {
@@ -78,8 +127,10 @@ expandExperiment(const ExperimentDef &def, const RunContext &ctx)
               "' is a custom harness; it has no declarative grid");
     }
     std::vector<ExperimentSpec> specs = expandGrids(def.grids());
-    for (ExperimentSpec &spec : specs)
+    for (ExperimentSpec &spec : specs) {
         spec.config.maxCommitted = ctx.maxCommitted;
+        spec.config.sampling = ctx.sampling;
+    }
     return specs;
 }
 
@@ -283,6 +334,11 @@ configSummary(const CoreConfig &cfg)
         s += " no-forwarding";
     if (cfg.splitDispatchQueues)
         s += " split-queues";
+    if (cfg.sampling.enabled()) {
+        s += " sample=" + std::to_string(cfg.sampling.interval) + ":" +
+             std::to_string(cfg.sampling.window) + ":" +
+             std::to_string(cfg.sampling.warmup);
+    }
     return s;
 }
 

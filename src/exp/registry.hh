@@ -53,10 +53,21 @@ struct RunContext
     int jobs = 0;
     /** Directory for JSON results artifacts (DRSIM_RESULTS_DIR). */
     std::string resultsDir = ".";
+    /** Interval sampling applied to every expanded spec
+     *  (DRSIM_SAMPLE / --sample; disabled by default). */
+    SamplingConfig sampling;
 
     /** Resolve scale/cap/results directory from the environment. */
     static RunContext fromEnv();
 };
+
+/**
+ * Parse an `INTERVAL[:WINDOW[:WARMUP]]` sampling spec (the --sample
+ * flag and DRSIM_SAMPLE env syntax).  Omitted WINDOW defaults to
+ * interval/20 (at least 1); omitted WARMUP defaults to WINDOW.
+ * fatal() on malformed text or an infeasible combination.
+ */
+SamplingConfig parseSamplingSpec(const std::string &text);
 
 struct ExperimentDef
 {

@@ -12,6 +12,10 @@
  * Extra knobs on top of the usual harness environment variables:
  *   DRSIM_BENCH_REPS  timing repetitions per (workload, scheduler)
  *                     leg; best-of-reps is recorded (default 3)
+ *   DRSIM_SAMPLE_BENCH  sampling spec (INTERVAL[:WINDOW[:WARMUP]],
+ *                     see parseSamplingSpec) for the sampled-mode
+ *                     comparison leg; default "40000:1000:4000".
+ *                     Set to "off" to skip the sampled block.
  *   DRSIM_E2E_BASELINE_FIG7 / DRSIM_E2E_CURRENT_FIG7
  *                     paths to fig7 binaries built at the
  *                     pre-event-core revision and at this revision;
@@ -32,6 +36,7 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -140,6 +145,83 @@ measureEndToEnd(SpeedRunInfo &info, const std::string &results_dir)
                 base_s / cur_s);
 }
 
+/**
+ * The sampled-mode comparison: rerun every workload under the same
+ * event-core configuration with SMARTS-style sampling enabled and
+ * record wall clock, the IPC estimate, and whether its 95% CI covers
+ * the full-detail IPC.  The full-detail leg's timing and result are
+ * reused from the scan-vs-event measurement (@p full_seconds,
+ * @p full_results).
+ */
+void
+measureSampled(SpeedRunInfo &info, const CoreConfig &event_cfg,
+               const std::vector<Workload> &suite, int reps,
+               const std::vector<double> &full_seconds,
+               const std::vector<SimResult> &full_results)
+{
+    const char *env = std::getenv("DRSIM_SAMPLE_BENCH");
+    const std::string spec =
+        env != nullptr && env[0] != '\0' ? env : "40000:1000:4000";
+    if (spec == "off")
+        return;
+
+    CoreConfig sampled_cfg = event_cfg;
+    sampled_cfg.sampling = parseSamplingSpec(spec);
+
+    std::printf("\nsampled mode (interval %llu, window %llu, "
+                "warmup %llu), best of %d rep(s):\n",
+                (unsigned long long)sampled_cfg.sampling.interval,
+                (unsigned long long)sampled_cfg.sampling.window,
+                (unsigned long long)sampled_cfg.sampling.warmup, reps);
+    std::printf("%-10s %10s %10s %8s %9s %9s %7s %6s\n", "workload",
+                "full s", "sampled s", "speedup", "full IPC",
+                "estimate", "ci95", "cover");
+
+    SampledSpeed sp;
+    sp.present = true;
+    sp.interval = sampled_cfg.sampling.interval;
+    sp.window = sampled_cfg.sampling.window;
+    sp.warmup = sampled_cfg.sampling.warmup;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        SimResult res;
+        SampledSpeedSample s;
+        s.workload = suite[i].spec->name;
+        s.fullSeconds = full_seconds[i];
+        s.sampledSeconds = timedRun(sampled_cfg, suite[i], reps, res);
+        s.committed = full_results[i].proc.committed;
+        s.fullIpc = full_results[i].commitIpc();
+        s.ipcEstimate = res.sampled.ipcEstimate;
+        s.ci95 = res.sampled.ci95;
+        s.windows = res.sampled.windows;
+        s.ciCovers =
+            std::abs(s.ipcEstimate - s.fullIpc) <= s.ci95;
+        std::printf("%-10s %9.3fs %9.3fs %7.2fx %9.3f %9.3f %7.3f "
+                    "%6s\n",
+                    s.workload.c_str(), s.fullSeconds,
+                    s.sampledSeconds,
+                    s.fullSeconds / s.sampledSeconds, s.fullIpc,
+                    s.ipcEstimate, s.ci95,
+                    s.ciCovers ? "yes" : "NO");
+        if (!s.ciCovers) {
+            std::fprintf(stderr,
+                         "simspeed: sampled CI on '%s' does not "
+                         "cover the full-run IPC\n",
+                         s.workload.c_str());
+        }
+        sp.samples.push_back(std::move(s));
+    }
+
+    double full_s = 0.0;
+    double sampled_s = 0.0;
+    for (const SampledSpeedSample &s : sp.samples) {
+        full_s += s.fullSeconds;
+        sampled_s += s.sampledSeconds;
+    }
+    std::printf("%-10s %9.3fs %9.3fs %7.2fx\n", "aggregate", full_s,
+                sampled_s, full_s / sampled_s);
+    info.sampled = std::move(sp);
+}
+
 } // namespace
 
 int
@@ -167,6 +249,8 @@ runSimspeed(const RunContext &ctx)
                 "event MIPS", "speedup");
 
     std::vector<SpeedSample> samples;
+    std::vector<double> event_seconds;
+    std::vector<SimResult> event_results;
     for (const Workload &w : suite) {
         SimResult scan_res, event_res;
         SpeedSample s;
@@ -176,6 +260,8 @@ runSimspeed(const RunContext &ctx)
         checkIdentical(scan_res, event_res);
         s.committed = event_res.proc.committed;
         s.cycles = std::uint64_t(event_res.proc.cycles);
+        event_seconds.push_back(s.eventSeconds);
+        event_results.push_back(std::move(event_res));
 
         const double scan_mips =
             double(s.committed) / s.scanSeconds / 1e6;
@@ -208,6 +294,8 @@ runSimspeed(const RunContext &ctx)
     info.reps = reps;
     info.issueWidth = event_cfg.issueWidth;
     info.numPhysRegs = event_cfg.numPhysRegs;
+    measureSampled(info, event_cfg, suite, reps, event_seconds,
+                   event_results);
     measureEndToEnd(info, ctx.resultsDir);
     const std::string path = ctx.resultsDir + "/BENCH_simspeed.json";
     try {
@@ -217,6 +305,59 @@ runSimspeed(const RunContext &ctx)
         return 1;
     }
     std::printf("\n[simspeed] wrote JSON results to %s\n", path.c_str());
+    return 0;
+}
+
+int
+runSamplingValidate(const RunContext &ctx)
+{
+    banner("sampling_validate: sampled 95% CI vs full-detail IPC");
+    const auto suite = buildSpec92Suite(ctx.scale);
+
+    // The same cost-effective 4-wide fig7 center point the simspeed
+    // benchmark tracks: every acceptance claim about sampled-mode
+    // accuracy refers to this configuration.
+    CoreConfig full_cfg = paperConfig(4, 96);
+    full_cfg.maxCommitted = ctx.maxCommitted;
+    CoreConfig sampled_cfg = full_cfg;
+    sampled_cfg.sampling = ctx.sampling.enabled()
+                               ? ctx.sampling
+                               : parseSamplingSpec("40000:1000:4000");
+
+    std::printf("\nscale %d, interval %llu, window %llu, warmup "
+                "%llu\n\n",
+                ctx.scale,
+                (unsigned long long)sampled_cfg.sampling.interval,
+                (unsigned long long)sampled_cfg.sampling.window,
+                (unsigned long long)sampled_cfg.sampling.warmup);
+    std::printf("%-10s %9s %9s %8s %8s %6s\n", "workload", "full IPC",
+                "estimate", "ci95", "windows", "cover");
+
+    int failures = 0;
+    for (const Workload &w : suite) {
+        const SimResult full = simulate(full_cfg, w);
+        const SimResult samp = simulate(sampled_cfg, w);
+        const double ipc = full.commitIpc();
+        const bool cover =
+            std::abs(samp.sampled.ipcEstimate - ipc) <=
+            samp.sampled.ci95;
+        std::printf("%-10s %9.4f %9.4f %8.4f %8llu %6s\n",
+                    w.spec->name.c_str(), ipc,
+                    samp.sampled.ipcEstimate, samp.sampled.ci95,
+                    (unsigned long long)samp.sampled.windows,
+                    cover ? "yes" : "NO");
+        if (!cover)
+            ++failures;
+    }
+    if (failures != 0) {
+        std::fprintf(stderr,
+                     "sampling_validate: %d workload(s) whose "
+                     "sampled CI does not cover the full-run IPC\n",
+                     failures);
+        return 1;
+    }
+    std::printf("\nevery sampled 95%% CI covers its full-detail "
+                "IPC\n");
     return 0;
 }
 

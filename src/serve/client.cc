@@ -219,8 +219,18 @@ runViaServer(const std::string &hostPort, const std::string &request,
 std::string
 runRequestPrefix(const exp::RunContext &ctx)
 {
-    return "\"scale\":" + std::to_string(ctx.scale) +
-           ",\"max_committed\":" + std::to_string(ctx.maxCommitted);
+    std::string prefix =
+        "\"scale\":" + std::to_string(ctx.scale) +
+        ",\"max_committed\":" + std::to_string(ctx.maxCommitted);
+    if (ctx.sampling.enabled()) {
+        prefix += ",\"sampling\":{\"interval\":" +
+                  std::to_string(ctx.sampling.interval) +
+                  ",\"window\":" +
+                  std::to_string(ctx.sampling.window) +
+                  ",\"warmup\":" +
+                  std::to_string(ctx.sampling.warmup) + "}";
+    }
+    return prefix;
 }
 
 } // namespace
@@ -263,8 +273,10 @@ runSweepSpecViaServer(const exp::SweepSpec &spec,
 {
     std::vector<ExperimentSpec> specs =
         exp::expandGrid(exp::toGrid(spec));
-    for (ExperimentSpec &s : specs)
+    for (ExperimentSpec &s : specs) {
         s.config.maxCommitted = ctx.maxCommitted;
+        s.config.sampling = ctx.sampling;
+    }
     const std::vector<Workload> suite =
         spec.suite == "classic" ? exp::classicWorkloads()
                                 : buildSpec92Suite(ctx.scale);

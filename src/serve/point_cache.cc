@@ -142,7 +142,10 @@ pointKeyText(const PointKey &key, const std::string &rev)
        << "collect_live_histograms=" << int(c.collectLiveHistograms)
        << "\n"
        << "collect_occupancy_histograms="
-       << int(c.collectOccupancyHistograms) << "\n";
+       << int(c.collectOccupancyHistograms) << "\n"
+       << "sampling_interval=" << c.sampling.interval << "\n"
+       << "sampling_window=" << c.sampling.window << "\n"
+       << "sampling_warmup=" << c.sampling.warmup << "\n";
     return os.str();
 }
 

@@ -103,6 +103,30 @@ pointRecordJson(const SimResult &r)
     appendKey(out, "stop_reason");
     out += std::string("\"") + stopReasonName(r.stopReason) + "\",";
 
+    const SampledStats &sm = r.sampled;
+    appendKey(out, "sampled");
+    out += '{';
+    appendKey(out, "enabled");
+    out += sm.enabled ? "true," : "false,";
+    const struct { const char *key; std::uint64_t value; } sfields[] = {
+        {"windows", sm.windows},
+        {"fast_forwarded", sm.fastForwarded},
+        {"warmup_insts", sm.warmupInsts},
+        {"measured_insts", sm.measuredInsts},
+        {"measured_cycles", sm.measuredCycles},
+    };
+    for (const auto &[key, value] : sfields) {
+        appendKey(out, key);
+        appendU64(out, value);
+        out += ',';
+    }
+    appendKey(out, "ipc_estimate");
+    appendDouble(out, sm.ipcEstimate);
+    out += ',';
+    appendKey(out, "ci95");
+    appendDouble(out, sm.ci95);
+    out += "},";
+
     const ProcStats &p = r.proc;
     appendKey(out, "proc");
     out += '{';
@@ -219,6 +243,17 @@ parsePointRecord(const json::Value &v)
     r.workload = v.at("workload").asString();
     r.fpIntensive = v.at("fp_intensive").asBool();
     r.stopReason = stopReasonFromName(v.at("stop_reason").asString());
+
+    const json::Value &sampled = v.at("sampled");
+    SampledStats &sm = r.sampled;
+    sm.enabled = sampled.at("enabled").asBool();
+    sm.windows = sampled.at("windows").asU64();
+    sm.fastForwarded = sampled.at("fast_forwarded").asU64();
+    sm.warmupInsts = sampled.at("warmup_insts").asU64();
+    sm.measuredInsts = sampled.at("measured_insts").asU64();
+    sm.measuredCycles = sampled.at("measured_cycles").asU64();
+    sm.ipcEstimate = sampled.at("ipc_estimate").asNumber();
+    sm.ci95 = sampled.at("ci95").asNumber();
 
     const json::Value &proc = v.at("proc");
     ProcStats &p = r.proc;

@@ -1,7 +1,7 @@
 /**
  * @file
  * Lossless serialization of one simulation result (the "point record",
- * `drsim-point-v1`).
+ * `drsim-point-v2`).
  *
  * The sweep cache and the wire protocol both move *complete*
  * SimResult structures — every counter, every histogram — not just
@@ -45,8 +45,9 @@
 namespace drsim {
 namespace serve {
 
-/** Version tag embedded in every record ("drsim-point-v1"). */
-constexpr int kPointRecordVersion = 1;
+/** Version tag embedded in every record ("drsim-point-v2").
+ *  v2 added the sampled-mode block (SimResult::sampled). */
+constexpr int kPointRecordVersion = 2;
 
 /** Serialize @p r to a compact, deterministic JSON object. */
 std::string pointRecordJson(const SimResult &r);

@@ -3,6 +3,8 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -220,10 +222,23 @@ Server::connectionLoop(int fd, std::uint64_t connId)
     std::string buffer;
     char chunk[65536];
     bool open = true;
+    bool orderly = true;
     while (open) {
         const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n <= 0)
+        if (n < 0) {
+            // A signal landing on this thread (the server installs
+            // SIGINT/SIGTERM handlers for its drain) interrupts recv
+            // without ending the connection — retry, don't drop a
+            // client mid-request.
+            if (errno == EINTR)
+                continue;
+            logLine(connId, std::string("recv error: ") +
+                                std::strerror(errno));
+            orderly = false;
             break;
+        }
+        if (n == 0)
+            break; // orderly shutdown from the peer
         buffer.append(chunk, std::size_t(n));
         std::size_t start = 0;
         for (;;) {
@@ -245,9 +260,19 @@ Server::connectionLoop(int fd, std::uint64_t connId)
         }
     }
     ::close(fd);
-    logLine(connId, "disconnected");
+    logLine(connId, orderly ? "disconnected" : "closed after error");
     if (done)
         done->store(true);
+}
+
+void
+Server::interruptConnectionsForTest(int signo)
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (Connection &conn : connections_) {
+        if (!conn.done->load())
+            ::pthread_kill(conn.thread.native_handle(), signo);
+    }
 }
 
 bool
@@ -387,7 +412,8 @@ Server::handleRun(int fd, std::uint64_t connId,
         }
         if (key != "verb" && key != "id" && key != "experiment" &&
             key != "spec" && key != "scale" &&
-            key != "max_committed" && key != "document") {
+            key != "max_committed" && key != "sampling" &&
+            key != "document") {
             sendError(fd, id, "bad-request",
                       "unknown request key '" + key + "'");
             return;
@@ -407,6 +433,35 @@ Server::handleRun(int fd, std::uint64_t connId,
     }
     if (const json::Value *v = req.find("max_committed"))
         ctx.maxCommitted = v->asU64();
+    if (const json::Value *v = req.find("sampling")) {
+        if (!v->isObject()) {
+            sendError(fd, id, "bad-request",
+                      "\"sampling\" must be an object with interval/"
+                      "window/warmup");
+            return;
+        }
+        for (const auto &[key, value] : v->members()) {
+            (void)value;
+            if (key != "interval" && key != "window" &&
+                key != "warmup") {
+                sendError(fd, id, "bad-request",
+                          "unknown sampling key '" + key + "'");
+                return;
+            }
+        }
+        SamplingConfig sc;
+        sc.interval = v->at("interval").asU64();
+        sc.window = v->at("window").asU64();
+        sc.warmup = v->at("warmup").asU64();
+        if (sc.interval == 0 || sc.window == 0 ||
+            sc.interval <= sc.warmup + sc.window) {
+            sendError(fd, id, "bad-request",
+                      "infeasible sampling parameters: interval must "
+                      "exceed warmup + window (all nonzero)");
+            return;
+        }
+        ctx.sampling = sc;
+    }
     bool document = false;
     if (const json::Value *v = req.find("document"))
         document = v->asBool();
@@ -457,8 +512,10 @@ Server::handleRun(int fd, std::uint64_t connId,
         }
         runName = spec.name;
         specs = exp::expandGrid(exp::toGrid(spec));
-        for (ExperimentSpec &s : specs)
+        for (ExperimentSpec &s : specs) {
             s.config.maxCommitted = ctx.maxCommitted;
+            s.config.sampling = ctx.sampling;
+        }
         *suite = spec.suite == "classic"
                      ? exp::classicWorkloads()
                      : buildSpec92Suite(ctx.scale);

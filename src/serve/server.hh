@@ -74,6 +74,11 @@ class Server
      *  callable from any thread or signal handler, idempotent. */
     void requestStop();
 
+    /** Testing hook: deliver @p signo to every live connection
+     *  thread (pthread_kill), exercising the EINTR paths of the
+     *  connection read loop deterministically. */
+    void interruptConnectionsForTest(int signo);
+
     int port() const { return port_; }
     SweepService &service() { return service_; }
 

@@ -195,6 +195,18 @@ emitWorkload(JsonOut &j, const SimResult &r, int in)
     j.raw(",\n");
     j.key(in + 2, "commit_ipc"); j.ratio(r.commitIpc(), ran);
     j.raw(",\n");
+    // Sampled-mode estimate (schema v2, additive: only present when
+    // the run used interval sampling, so full-detail artifacts stay
+    // byte-identical).
+    if (r.sampled.enabled) {
+        j.key(in + 2, "ipc_estimate");
+        j.number(r.sampled.ipcEstimate); j.raw(",\n");
+        j.key(in + 2, "ci95"); j.number(r.sampled.ci95); j.raw(",\n");
+        j.key(in + 2, "windows"); j.number(r.sampled.windows);
+        j.raw(",\n");
+        j.key(in + 2, "fast_forwarded");
+        j.number(r.sampled.fastForwarded); j.raw(",\n");
+    }
     j.key(in + 2, "load_miss_rate");
     j.ratio(r.loadMissRate, r.proc.executedLoads > 0); j.raw(",\n");
     j.key(in + 2, "mispredict_rate");
@@ -272,6 +284,17 @@ emitExperiment(JsonOut &j, const ExperimentResult &res, int in)
     j.key(in + 4, "cache_kind"); j.string(cacheKindName(cfg.cacheKind));
     j.raw(",\n");
     j.key(in + 4, "max_committed"); j.number(cfg.maxCommitted);
+    if (cfg.sampling.enabled()) {
+        j.raw(",\n");
+        j.key(in + 4, "sampling"); j.raw("{\n");
+        j.key(in + 6, "interval"); j.number(cfg.sampling.interval);
+        j.raw(",\n");
+        j.key(in + 6, "window"); j.number(cfg.sampling.window);
+        j.raw(",\n");
+        j.key(in + 6, "warmup"); j.number(cfg.sampling.warmup);
+        j.raw("\n");
+        j.pad(in + 4); j.raw("}");
+    }
     j.raw("\n");
     j.pad(in + 2); j.raw("},\n");
 
@@ -472,6 +495,55 @@ simspeedJson(const SpeedRunInfo &info,
         j.number(clampSeconds(e.baselineSeconds) /
                  clampSeconds(e.currentSeconds));
         j.raw("\n");
+        j.pad(2); j.raw("}");
+    }
+
+    if (info.sampled.present) {
+        const SampledSpeed &sp = info.sampled;
+        double full_s = 0.0;
+        double sampled_s = 0.0;
+        bool all_cover = true;
+        j.raw(",\n");
+        j.key(2, "sampled"); j.raw("{\n");
+        j.key(4, "interval"); j.number(sp.interval); j.raw(",\n");
+        j.key(4, "window"); j.number(sp.window); j.raw(",\n");
+        j.key(4, "warmup"); j.number(sp.warmup); j.raw(",\n");
+        j.key(4, "workloads"); j.raw("[\n");
+        for (std::size_t i = 0; i < sp.samples.size(); ++i) {
+            const SampledSpeedSample &s = sp.samples[i];
+            full_s += s.fullSeconds;
+            sampled_s += s.sampledSeconds;
+            all_cover = all_cover && s.ciCovers;
+            j.pad(6); j.raw("{\n");
+            j.key(8, "name"); j.string(s.workload); j.raw(",\n");
+            j.key(8, "committed"); j.number(s.committed); j.raw(",\n");
+            j.key(8, "full_seconds"); j.number(s.fullSeconds);
+            j.raw(",\n");
+            j.key(8, "sampled_seconds"); j.number(s.sampledSeconds);
+            j.raw(",\n");
+            j.key(8, "full_ipc"); j.number(s.fullIpc); j.raw(",\n");
+            j.key(8, "ipc_estimate"); j.number(s.ipcEstimate);
+            j.raw(",\n");
+            j.key(8, "ci95"); j.number(s.ci95); j.raw(",\n");
+            j.key(8, "windows"); j.number(s.windows); j.raw(",\n");
+            j.key(8, "ci_covers_full_ipc"); j.boolean(s.ciCovers);
+            j.raw(",\n");
+            j.key(8, "speedup");
+            j.number(clampSeconds(s.fullSeconds) /
+                     clampSeconds(s.sampledSeconds));
+            j.raw("\n");
+            j.pad(6); j.raw("}");
+            j.raw(i + 1 < sp.samples.size() ? ",\n" : "\n");
+        }
+        j.pad(4); j.raw("],\n");
+        j.key(4, "aggregate"); j.raw("{\n");
+        j.key(6, "full_seconds"); j.number(full_s); j.raw(",\n");
+        j.key(6, "sampled_seconds"); j.number(sampled_s); j.raw(",\n");
+        j.key(6, "speedup");
+        j.number(clampSeconds(full_s) / clampSeconds(sampled_s));
+        j.raw(",\n");
+        j.key(6, "all_ci_cover"); j.boolean(all_cover); j.raw("\n");
+        j.pad(4); j.raw("}\n");
         j.pad(2); j.raw("}");
     }
     j.raw("\n");

@@ -146,6 +146,46 @@ struct SpeedEndToEnd
     double currentSeconds = 0.0;
 };
 
+/**
+ * One workload's sampled-vs-full-detail comparison.  The full leg
+ * runs the event core to completion; the sampled leg runs the same
+ * configuration under a SamplingConfig.  ciCovers records whether
+ * the sampled 95% confidence interval contains the full-run IPC —
+ * the accuracy contract every recorded sample must satisfy.
+ */
+struct SampledSpeedSample
+{
+    std::string workload;
+    std::uint64_t committed = 0;
+    /** Best-of-reps wall time for the full-detail run. */
+    double fullSeconds = 0.0;
+    /** Best-of-reps wall time for the sampled run. */
+    double sampledSeconds = 0.0;
+    /** Commit IPC of the full-detail run (ground truth). */
+    double fullIpc = 0.0;
+    /** Sampled-mode IPC estimate and its 95% CI half-width. */
+    double ipcEstimate = 0.0;
+    double ci95 = 0.0;
+    std::uint64_t windows = 0;
+    bool ciCovers = false;
+};
+
+/**
+ * The sampled-simulation benchmark block: full-detail versus
+ * SMARTS-style sampled wall clock on the longest-running workloads
+ * (the gcc1/espresso-dominated set), plus the per-workload accuracy
+ * check.  Populated by bench/simspeed; "sampled" in the JSON.
+ */
+struct SampledSpeed
+{
+    bool present = false;
+    /** The SamplingConfig the sampled legs ran under. */
+    std::uint64_t interval = 0;
+    std::uint64_t window = 0;
+    std::uint64_t warmup = 0;
+    std::vector<SampledSpeedSample> samples;
+};
+
 /** Provenance recorded at the top level of BENCH_simspeed.json. */
 struct SpeedRunInfo
 {
@@ -156,6 +196,7 @@ struct SpeedRunInfo
     int issueWidth = 0;
     int numPhysRegs = 0;
     SpeedEndToEnd endToEnd;
+    SampledSpeed sampled;
 };
 
 /**

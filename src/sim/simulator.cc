@@ -1,6 +1,8 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -26,13 +28,8 @@ verifyProgram(const Program &program, const analysis::Options &opts)
 namespace {
 
 SimResult
-runOne(const CoreConfig &config, const Program &program,
-       const std::string &name, bool fp_intensive)
+collect(Processor &proc, const std::string &name, bool fp_intensive)
 {
-    verifyProgram(program);
-    Processor proc(config, program);
-    proc.run();
-
     SimResult res;
     res.workload = name;
     res.fpIntensive = fp_intensive;
@@ -45,6 +42,152 @@ runOne(const CoreConfig &config, const Program &program,
     for (int c = 0; c < kNumRegClasses; ++c)
         res.lifetime[c] = proc.rename().lifetimeHistogram(RegClass(c));
     return res;
+}
+
+/**
+ * SMARTS-style systematic sampling (DESIGN.md §5h): per period of
+ * `interval` instructions, fast-forward functionally, warm the
+ * machine detailed-but-gated, then measure one window's commit IPC.
+ * One Processor persists across periods so caches, predictor tables,
+ * and the register file carry their state through the fast-forwards;
+ * the warm-up only has to re-fill the pipeline-adjacent state the
+ * drain perturbed.
+ */
+SimResult
+runOneSampled(const CoreConfig &config, const Program &program,
+              const std::string &name, bool fp_intensive)
+{
+    const SamplingConfig &sc = config.sampling;
+    CoreConfig detail = config;
+    // The commit-count limit is enforced here against *total*
+    // instructions advanced (fast-forwarded + detailed); the core's
+    // detailed-only counter would run far past the budget.
+    detail.maxCommitted = 0;
+    Processor proc(detail, program);
+    const std::uint64_t budget = config.maxCommitted;
+
+    SampledStats samp;
+    samp.enabled = true;
+    std::vector<double> window_ipc;
+    bool limit_hit = false;
+
+    const auto advanced = [&]() {
+        return samp.fastForwarded + proc.stats().committed;
+    };
+    const auto remaining = [&]() {
+        return budget == 0 ? ~std::uint64_t{0}
+                           : budget - std::min(budget, advanced());
+    };
+
+    // Fixed-stride window placement aliases with periodic kernels:
+    // when the program's loop period divides the sampling interval,
+    // every window lands at the same phase offset, the window IPCs
+    // are identical, and the confidence interval collapses to a
+    // width of zero around a biased estimate.  Jittering each
+    // fast-forward length uniformly over [ff_len/2, 3*ff_len/2)
+    // breaks the alignment while preserving the mean sampling rate;
+    // the LCG is seeded with a constant so a given (config, program)
+    // pair still simulates deterministically.
+    const std::uint64_t ff_len = sc.interval - sc.warmup - sc.window;
+    std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+    const auto jittered_ff = [&]() {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        const std::uint64_t span = std::max<std::uint64_t>(ff_len, 1);
+        return ff_len / 2 + (lcg >> 33) % span;
+    };
+    while (!proc.done()) {
+        if (remaining() == 0) {
+            limit_hit = true;
+            break;
+        }
+
+        // Detailed warm-up, distribution histograms gated.  Each
+        // period runs warm-up -> measurement -> fast-forward, so the
+        // first measured window observes the program's initialization
+        // phase instead of silently fast-forwarding past it — without
+        // that window, perfectly periodic kernels produce identical
+        // window IPCs and a degenerate zero-width confidence interval
+        // that can never cover the full-run IPC.
+        proc.setStatsGate(true);
+        const std::uint64_t warm_base = proc.stats().committed;
+        proc.runDetailed(warm_base +
+                         std::min(sc.warmup, remaining()));
+        proc.setStatsGate(false);
+        samp.warmupInsts += proc.stats().committed - warm_base;
+        if (proc.done() || remaining() == 0) {
+            limit_hit = !proc.done();
+            break;
+        }
+
+        // Measured window.
+        const std::uint64_t c0 = proc.stats().committed;
+        const Cycle y0 = proc.stats().cycles;
+        proc.runDetailed(c0 + std::min(sc.window, remaining()));
+        const std::uint64_t dc = proc.stats().committed - c0;
+        const Cycle dy = proc.stats().cycles - y0;
+        samp.measuredInsts += dc;
+        samp.measuredCycles += dy;
+        if (dc > 0 && dy > 0)
+            window_ipc.push_back(double(dc) / double(dy));
+        if (proc.done())
+            break;
+        if (remaining() == 0) {
+            limit_hit = true;
+            break;
+        }
+
+        // Functional phase.
+        const std::uint64_t want = std::min(jittered_ff(), remaining());
+        const std::uint64_t stepped = proc.fastForward(want);
+        samp.fastForwarded += stepped;
+        if (proc.done())
+            break;
+        if (stepped < want) {
+            // The program's halt is nearer than the period: finish
+            // detailed (the tail is at most a drain away).  Saturate
+            // the target — an unlimited budget's remaining() is the
+            // full uint64 range.
+            const std::uint64_t c = proc.stats().committed;
+            const std::uint64_t rem = remaining();
+            proc.runDetailed(rem > ~std::uint64_t{0} - c
+                                 ? ~std::uint64_t{0}
+                                 : c + rem);
+            limit_hit = !proc.done();
+            break;
+        }
+    }
+
+    samp.windows = window_ipc.size();
+    if (!window_ipc.empty()) {
+        double sum = 0.0;
+        for (double ipc : window_ipc)
+            sum += ipc;
+        samp.ipcEstimate = sum / double(window_ipc.size());
+        samp.ci95 = ci95HalfWidth(window_ipc);
+    } else {
+        // Degenerate run (shorter than one period): everything that
+        // ran detailed is the best available estimate.
+        samp.ipcEstimate = proc.stats().commitIpc();
+        samp.ci95 = 0.0;
+    }
+
+    SimResult res = collect(proc, name, fp_intensive);
+    res.sampled = samp;
+    if (limit_hit)
+        res.stopReason = StopReason::InstLimit;
+    return res;
+}
+
+SimResult
+runOne(const CoreConfig &config, const Program &program,
+       const std::string &name, bool fp_intensive)
+{
+    verifyProgram(program);
+    if (config.sampling.enabled())
+        return runOneSampled(config, program, name, fp_intensive);
+    Processor proc(config, program);
+    proc.run();
+    return collect(proc, name, fp_intensive);
 }
 
 } // namespace

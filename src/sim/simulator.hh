@@ -39,12 +39,39 @@ namespace drsim {
 void verifyProgram(const Program &program,
                    const analysis::Options &opts = {});
 
+/**
+ * Interval-sampling measurement summary (zero-initialized and
+ * `enabled == false` for full-detail runs).  All detailed-mode
+ * ProcStats counters in a sampled SimResult cover only the warm-up
+ * and measured portions; the headline metric is @ref ipcEstimate.
+ */
+struct SampledStats
+{
+    bool enabled = false;
+    /** Measured windows contributing IPC samples. */
+    std::uint64_t windows = 0;
+    /** Instructions executed functionally (timing model off). */
+    std::uint64_t fastForwarded = 0;
+    /** Instructions committed during histogram-gated warm-ups. */
+    std::uint64_t warmupInsts = 0;
+    /** Instructions committed inside measured windows. */
+    std::uint64_t measuredInsts = 0;
+    /** Cycles spent inside measured windows. */
+    std::uint64_t measuredCycles = 0;
+    /** Mean of per-window commit IPC (the population estimate). */
+    double ipcEstimate = 0.0;
+    /** 95% confidence half-width from per-window variance
+     *  (Student t; 0 when fewer than two windows). */
+    double ci95 = 0.0;
+};
+
 /** Everything measured in one (workload, configuration) run. */
 struct SimResult
 {
     std::string workload;
     bool fpIntensive = false;
     StopReason stopReason = StopReason::Running;
+    SampledStats sampled;
     ProcStats proc;
     DCacheStats dcache;
     std::uint64_t icacheAccesses = 0;

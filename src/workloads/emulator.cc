@@ -376,6 +376,64 @@ Emulator::stepArch()
     return step(taken);
 }
 
+std::uint64_t
+Emulator::fastForward(std::uint64_t n)
+{
+    if (!liveMarks_.empty()) {
+        DRSIM_PANIC("fastForward() with ", liveMarks_.size(),
+                    " live checkpoints");
+    }
+    // With no live checkpoints every write path skips the undo log,
+    // and the StepInfo each step returns is discarded (dead-store
+    // eliminated), so this loop is pure architectural execution.
+    std::uint64_t done = 0;
+    while (done < n) {
+        if (fetchBlocked())
+            break;
+        if (prog_.instAt(loc_).op == Opcode::Halt)
+            break;
+        stepArch();
+        ++done;
+    }
+    return done;
+}
+
+EmuArchState
+Emulator::saveArchState() const
+{
+    if (!liveMarks_.empty()) {
+        DRSIM_PANIC("saveArchState() with ", liveMarks_.size(),
+                    " live checkpoints");
+    }
+    EmuArchState s;
+    s.loc = loc_;
+    s.intRegs = intRegs_;
+    s.fpRegs = fpRegs_;
+    s.data = data_;
+    s.dataLimit = dataLimit_;
+    s.mem = mem_;
+    s.steps = steps_;
+    return s;
+}
+
+void
+Emulator::restoreArchState(const EmuArchState &state)
+{
+    if (!liveMarks_.empty()) {
+        DRSIM_PANIC("restoreArchState() with ", liveMarks_.size(),
+                    " live checkpoints");
+    }
+    loc_ = state.loc;
+    intRegs_ = state.intRegs;
+    fpRegs_ = state.fpRegs;
+    data_ = state.data;
+    dataLimit_ = state.dataLimit;
+    mem_ = state.mem;
+    steps_ = state.steps;
+    undo_.clear();
+    undoBase_ = 0;
+}
+
 EmuCheckpoint
 Emulator::takeCheckpoint()
 {

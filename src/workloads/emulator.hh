@@ -53,6 +53,24 @@ struct StepInfo
 /** Opaque checkpoint handle (a mark into the undo log). */
 using EmuCheckpoint = std::uint64_t;
 
+/**
+ * A full architectural snapshot of the emulator: everything needed to
+ * resume functional execution from an arbitrary point.  Unlike the
+ * undo-log checkpoints (which only live while the timing core holds a
+ * mark), an EmuArchState is self-contained and portable — the sampling
+ * driver and tests save one, keep running, and restore later.
+ */
+struct EmuArchState
+{
+    CodeLoc loc;
+    std::array<std::uint64_t, kNumVirtualRegs> intRegs{};
+    std::array<double, kNumVirtualRegs> fpRegs{};
+    std::vector<std::uint64_t> data;
+    Addr dataLimit = 0;
+    std::unordered_map<Addr, std::uint64_t> mem;
+    std::uint64_t steps = 0;
+};
+
 class Emulator
 {
   public:
@@ -85,6 +103,27 @@ class Emulator
 
     /** Convenience for functional-only runs: follow actual outcomes. */
     StepInfo stepArch();
+
+    /**
+     * Functional fast-forward: architecturally execute up to @p n
+     * instructions with no undo logging and no StepInfo population.
+     * Stops early when fetch blocks or the next instruction is Halt
+     * (the Halt is left unexecuted so a subsequent detailed run still
+     * fetches and commits it).  Returns the number of instructions
+     * actually executed.  Must not be called with live checkpoints:
+     * skipping the undo log would make them unrollbackable.
+     */
+    std::uint64_t fastForward(std::uint64_t n);
+
+    /// @name Architectural snapshots (sampling, tests)
+    /// @{
+    /** Snapshot the full architectural state.  Only valid with no
+     *  live checkpoints (speculative state must be unwound first). */
+    EmuArchState saveArchState() const;
+
+    /** Restore a snapshot taken from the same program. */
+    void restoreArchState(const EmuArchState &state);
+    /// @}
 
     /// @name Checkpointing for wrong-path recovery
     /// @{

@@ -75,7 +75,7 @@ TEST(ExpRegistry, EveryLegacyHarnessIsRegistered)
         "fig8",        "fig10",         "ablations",
         "ext_classic", "ext_mshr",      "ext_writebuffer",
         "ext_variance", "ext_critical_paths", "simspeed",
-        "micro",
+        "sampling_validate", "micro",
     };
     for (const char *name : expected)
         EXPECT_NE(findExperiment(name), nullptr) << name;

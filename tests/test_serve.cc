@@ -13,7 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -247,6 +249,63 @@ TEST(PointCache, KeyCoversEveryResultAffectingInput)
     sched.config.scanScheduler = !sched.config.scanScheduler;
     sched.config.stallSkipAhead = !sched.config.stallSkipAhead;
     EXPECT_EQ(pointKeyText(sched, "r"), baseText);
+}
+
+TEST(PointCache, KeyCoversSamplingParameters)
+{
+    // Sampled results are statistical estimates, never interchangeable
+    // with full-detail records — every sampling parameter must be
+    // key-affecting, and each parameter independently so.
+    const Workload w = buildWorkload("compress", 1);
+    const PointKey base = smallKey(w);
+    const std::string baseText = pointKeyText(base, "r");
+
+    PointKey sampled = base;
+    sampled.config.sampling.interval = 40000;
+    sampled.config.sampling.window = 1000;
+    sampled.config.sampling.warmup = 4000;
+    const std::string sampledText = pointKeyText(sampled, "r");
+    EXPECT_NE(sampledText, baseText);
+
+    PointKey interval = sampled;
+    interval.config.sampling.interval = 50000;
+    EXPECT_NE(pointKeyText(interval, "r"), sampledText);
+
+    PointKey window = sampled;
+    window.config.sampling.window = 2000;
+    EXPECT_NE(pointKeyText(window, "r"), sampledText);
+
+    PointKey warmup = sampled;
+    warmup.config.sampling.warmup = 3000;
+    EXPECT_NE(pointKeyText(warmup, "r"), sampledText);
+}
+
+TEST(PointRecord, RoundTripsSampledBlock)
+{
+    const Workload w = buildWorkload("compress", 2);
+    PointKey key = smallKey(w);
+    key.config.maxCommitted = 0;
+    key.config.sampling.interval = 2000;
+    key.config.sampling.window = 200;
+    key.config.sampling.warmup = 400;
+    const SimResult direct = simulate(key.config, w);
+    ASSERT_TRUE(direct.sampled.enabled);
+    ASSERT_GT(direct.sampled.windows, 0u);
+
+    const std::string text = pointRecordJson(direct);
+    const SimResult parsed = parsePointRecord(text);
+    EXPECT_EQ(pointRecordJson(parsed), text);
+    EXPECT_TRUE(parsed.sampled.enabled);
+    EXPECT_EQ(parsed.sampled.windows, direct.sampled.windows);
+    EXPECT_EQ(parsed.sampled.fastForwarded,
+              direct.sampled.fastForwarded);
+    EXPECT_EQ(parsed.sampled.warmupInsts, direct.sampled.warmupInsts);
+    EXPECT_EQ(parsed.sampled.measuredInsts,
+              direct.sampled.measuredInsts);
+    EXPECT_EQ(parsed.sampled.measuredCycles,
+              direct.sampled.measuredCycles);
+    EXPECT_EQ(parsed.sampled.ipcEstimate, direct.sampled.ipcEstimate);
+    EXPECT_EQ(parsed.sampled.ci95, direct.sampled.ci95);
 }
 
 TEST(PointCache, CorruptEntryRecomputesInsteadOfCrashing)
@@ -555,6 +614,146 @@ TEST(Protocol, EndToEndOverLoopback)
 
     server.requestStop();
     serving.join();
+}
+
+TEST(Protocol, SamplingKeyValidatedAndApplied)
+{
+    TmpDir dir("sampling");
+    ServerOptions opts;
+    opts.port = 0;
+    opts.cacheDir = dir.str();
+    opts.jobs = 2;
+    opts.scale = 1;
+    opts.maxCommitted = 4000;
+    Server server(std::move(opts));
+    const int port = server.start();
+    std::thread serving([&server] { server.serve(); });
+
+    {
+        ServeClient client("127.0.0.1:" + std::to_string(port));
+        const std::string spec =
+            "\"spec\":{\"name\":\"tiny\",\"axes\":{\"width\":[4],"
+            "\"regs\":[64]}}";
+
+        // Not an object.
+        client.sendLine("{\"verb\":\"run\"," + spec +
+                        ",\"sampling\":5}");
+        json::Value reply = client.readReply();
+        EXPECT_EQ(reply.at("reply").asString(), "error");
+        EXPECT_EQ(reply.at("code").asString(), "bad-request");
+
+        // Unknown key inside the sampling object.
+        client.sendLine("{\"verb\":\"run\"," + spec +
+                        ",\"sampling\":{\"interval\":600,"
+                        "\"window\":100,\"warmup\":100,\"x\":1}}");
+        EXPECT_EQ(client.readReply().at("code").asString(),
+                  "bad-request");
+
+        // Infeasible: interval must exceed warmup + window.
+        client.sendLine("{\"verb\":\"run\"," + spec +
+                        ",\"sampling\":{\"interval\":200,"
+                        "\"window\":100,\"warmup\":100}}");
+        EXPECT_EQ(client.readReply().at("code").asString(),
+                  "bad-request");
+
+        // Missing field.
+        client.sendLine("{\"verb\":\"run\"," + spec +
+                        ",\"sampling\":{\"interval\":600}}");
+        EXPECT_EQ(client.readReply().at("code").asString(),
+                  "bad-request");
+
+        // A valid sampled run: every point record carries the
+        // sampled block.
+        client.sendLine("{\"verb\":\"run\",\"id\":\"s1\"," + spec +
+                        ",\"sampling\":{\"interval\":600,"
+                        "\"window\":100,\"warmup\":100}}");
+        reply = client.readReply();
+        ASSERT_EQ(reply.at("reply").asString(), "ack");
+        const std::uint64_t points = reply.at("points").asU64();
+        std::uint64_t sampledPoints = 0;
+        for (;;) {
+            reply = client.readReply();
+            if (reply.at("reply").asString() == "done")
+                break;
+            ASSERT_EQ(reply.at("reply").asString(), "point");
+            const SimResult r = parsePointRecord(reply.at("result"));
+            if (r.sampled.enabled)
+                ++sampledPoints;
+        }
+        EXPECT_EQ(sampledPoints, points);
+
+        // The identical request *without* sampling must not reuse
+        // the sampled cache entries: all points recompute, and the
+        // records are full-detail.
+        client.sendLine("{\"verb\":\"run\",\"id\":\"s2\"," + spec +
+                        "}");
+        reply = client.readReply();
+        ASSERT_EQ(reply.at("reply").asString(), "ack");
+        std::uint64_t cacheHits = 0, fullPoints = 0;
+        for (;;) {
+            reply = client.readReply();
+            if (reply.at("reply").asString() == "done")
+                break;
+            if (reply.at("cache_hit").asBool())
+                ++cacheHits;
+            const SimResult r = parsePointRecord(reply.at("result"));
+            if (!r.sampled.enabled)
+                ++fullPoints;
+        }
+        EXPECT_EQ(cacheHits, 0u);
+        EXPECT_EQ(fullPoints, points);
+    }
+
+    server.requestStop();
+    serving.join();
+}
+
+TEST(Protocol, RecvEintrRetriesInsteadOfDisconnecting)
+{
+    // Regression test: a signal delivered to a connection thread
+    // parked in recv() used to be treated as a disconnect (recv
+    // returns -1/EINTR, and the old loop broke on any n <= 0).
+    // Install a no-op handler *without* SA_RESTART so the syscall
+    // genuinely returns EINTR rather than restarting transparently.
+    struct sigaction sa = {};
+    sa.sa_handler = +[](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    struct sigaction old = {};
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+    TmpDir dir("eintr");
+    ServerOptions opts;
+    opts.port = 0;
+    opts.cacheDir = dir.str();
+    opts.jobs = 1;
+    opts.scale = 1;
+    opts.maxCommitted = 500;
+    Server server(std::move(opts));
+    const int port = server.start();
+    std::thread serving([&server] { server.serve(); });
+
+    {
+        ServeClient client("127.0.0.1:" + std::to_string(port));
+        client.sendLine("{\"verb\":\"ping\",\"id\":\"before\"}");
+        EXPECT_EQ(client.readReply().at("reply").asString(), "pong");
+
+        // The connection thread is now parked in recv(); interrupt
+        // it repeatedly, then prove the connection survived.
+        for (int i = 0; i < 5; ++i) {
+            server.interruptConnectionsForTest(SIGUSR1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        client.sendLine("{\"verb\":\"ping\",\"id\":\"after\"}");
+        const json::Value reply = client.readReply();
+        EXPECT_EQ(reply.at("reply").asString(), "pong");
+        EXPECT_EQ(reply.at("id").asString(), "after");
+    }
+
+    server.requestStop();
+    serving.join();
+    ::sigaction(SIGUSR1, &old, nullptr);
 }
 
 } // namespace

@@ -63,6 +63,12 @@ usage(std::FILE *to)
         "                      (default $DRSIM_MAX_COMMITTED)\n"
         "  --jobs N            worker threads, 0 = auto\n"
         "                      (default $DRSIM_JOBS)\n"
+        "  --sample I[:W[:U]]  SMARTS-style sampled simulation:\n"
+        "                      fast-forward through each interval of\n"
+        "                      I instructions, then warm up U and\n"
+        "                      measure W in detail (W defaults to\n"
+        "                      max(I/20,1), U to W; default\n"
+        "                      $DRSIM_SAMPLE; docs/EXPERIMENTS.md)\n"
         "  --server HOST:PORT  run via a drsim_serve daemon instead\n"
         "                      of simulating locally (docs/SERVER.md)\n"
         "  --server-stats HOST:PORT\n"
@@ -229,6 +235,14 @@ main(int argc, char **argv)
                 value_of(i, "--max-committed"), nullptr, 10);
         } else if (std::strcmp(arg, "--jobs") == 0) {
             ctx.jobs = std::atoi(value_of(i, "--jobs"));
+        } else if (std::strcmp(arg, "--sample") == 0) {
+            try {
+                ctx.sampling =
+                    parseSamplingSpec(value_of(i, "--sample"));
+            } catch (const FatalError &e) {
+                std::fprintf(stderr, "drsim_bench: %s\n", e.what());
+                return 2;
+            }
         } else if (std::strcmp(arg, "--server") == 0) {
             server = value_of(i, "--server");
         } else if (std::strcmp(arg, "--server-stats") == 0) {
