@@ -166,6 +166,18 @@ struct ProcStats
      */
     Histogram live[kNumRegClasses][4];
 
+    /**
+     * Largest per-cycle total live-register count observed for @p cls
+     * (level [3], precise accounting); 0 when the live histograms
+     * were not collected.  The static-bounds cross-check gate
+     * compares this against the analysis layer's MaxLive.
+     */
+    std::uint64_t
+    peakLive(RegClass cls) const
+    {
+        return live[int(cls)][3].maxValue();
+    }
+
     double
     issueIpc() const
     {

@@ -7,6 +7,7 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "core/config_check.hh"
 #include "exp/experiments.hh"
 #include "workloads/classic.hh"
 
@@ -130,6 +131,11 @@ expandExperiment(const ExperimentDef &def, const RunContext &ctx)
     for (ExperimentSpec &spec : specs) {
         spec.config.maxCommitted = ctx.maxCommitted;
         spec.config.sampling = ctx.sampling;
+        // Screen each point before anything simulates: an infeasible
+        // config should reject the sweep at expansion time, not
+        // fatal() mid-run.
+        requireFeasibleConfig(spec.config,
+                              std::string(def.name) + "/" + spec.name);
     }
     return specs;
 }

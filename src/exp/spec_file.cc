@@ -5,6 +5,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "core/config_check.hh"
 #include "exp/registry.hh"
 
 namespace drsim {
@@ -203,8 +204,10 @@ runSweepSpec(const SweepSpec &spec, const RunContext &ctx,
         std::printf("%s\n", spec.description.c_str());
 
     std::vector<ExperimentSpec> specs = expandGrid(toGrid(spec));
-    for (ExperimentSpec &s : specs)
+    for (ExperimentSpec &s : specs) {
         s.config.maxCommitted = ctx.maxCommitted;
+        requireFeasibleConfig(s.config, spec.name + "/" + s.name);
+    }
     const std::size_t full = specs.size();
     if (!filter.empty()) {
         std::vector<ExperimentSpec> kept;

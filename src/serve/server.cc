@@ -18,6 +18,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "core/config_check.hh"
 #include "exp/registry.hh"
 #include "exp/spec_file.hh"
 #include "serve/result_io.hh"
@@ -495,7 +496,15 @@ Server::handleRun(int fd, std::uint64_t connId,
             return;
         }
         runName = def->name;
-        specs = exp::expandExperiment(*def, ctx);
+        try {
+            // expandExperiment screens every point through
+            // requireFeasibleConfig; a request-level sampling or
+            // budget override can make a stock grid infeasible.
+            specs = exp::expandExperiment(*def, ctx);
+        } catch (const FatalError &e) {
+            sendError(fd, id, "infeasible-config", e.what());
+            return;
+        }
         *suite = exp::buildSuite(*def, ctx);
     } else {
         if (!specDoc->isObject()) {
@@ -512,9 +521,16 @@ Server::handleRun(int fd, std::uint64_t connId,
         }
         runName = spec.name;
         specs = exp::expandGrid(exp::toGrid(spec));
-        for (ExperimentSpec &s : specs) {
-            s.config.maxCommitted = ctx.maxCommitted;
-            s.config.sampling = ctx.sampling;
+        try {
+            for (ExperimentSpec &s : specs) {
+                s.config.maxCommitted = ctx.maxCommitted;
+                s.config.sampling = ctx.sampling;
+                requireFeasibleConfig(s.config,
+                                      spec.name + "/" + s.name);
+            }
+        } catch (const FatalError &e) {
+            sendError(fd, id, "infeasible-config", e.what());
+            return;
         }
         *suite = spec.suite == "classic"
                      ? exp::classicWorkloads()

@@ -187,7 +187,9 @@ runOne(const CoreConfig &config, const Program &program,
         return runOneSampled(config, program, name, fp_intensive);
     Processor proc(config, program);
     proc.run();
-    return collect(proc, name, fp_intensive);
+    SimResult res = collect(proc, name, fp_intensive);
+    checkStaticBounds(config, program, res);
+    return res;
 }
 
 } // namespace

@@ -115,6 +115,27 @@ struct SimResult
     }
 };
 
+/**
+ * What a static-bounds gate violation does (bounds_gate.cc): panic
+ * (debug/test default), warn (release default), or nothing.
+ * Overridable via DRSIM_BOUNDS_GATE=off|warn|panic.
+ */
+enum class BoundsGateMode : std::uint8_t { Off, Warn, Panic };
+
+/** Effective gate mode (environment override, else build default). */
+BoundsGateMode boundsGateMode();
+
+/**
+ * Cross-check a full-detail run against the static dataflow oracle:
+ * commit IPC must not exceed analysis::computeBounds()'s IPC upper
+ * bound (+5% tolerance) and peak live registers must not undercut
+ * static MaxLive.  No-op for sampled runs and zero-cycle runs.
+ * simulate()/simulateProgram()/runSuite() call this automatically.
+ */
+void checkStaticBounds(const CoreConfig &config,
+                       const Program &program,
+                       const SimResult &result);
+
 /** Simulate one workload under @p config. */
 SimResult simulate(const CoreConfig &config, const Workload &workload);
 

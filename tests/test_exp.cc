@@ -74,8 +74,8 @@ TEST(ExpRegistry, EveryLegacyHarnessIsRegistered)
         "fig5",        "fig6",          "fig7",
         "fig8",        "fig10",         "ablations",
         "ext_classic", "ext_mshr",      "ext_writebuffer",
-        "ext_variance", "ext_critical_paths", "simspeed",
-        "sampling_validate", "micro",
+        "ext_variance", "ext_bounds",   "ext_critical_paths",
+        "simspeed",    "sampling_validate", "micro",
     };
     for (const char *name : expected)
         EXPECT_NE(findExperiment(name), nullptr) << name;
@@ -120,7 +120,7 @@ TEST(ExpGrid, CrossProductCountsMatchLegacyHarnesses)
         {"fig8", 3},          {"fig10", 32},
         {"ablations", 7},     {"ext_classic", 9},
         {"ext_mshr", 14},     {"ext_writebuffer", 12},
-        {"ext_variance", 1},
+        {"ext_variance", 1},  {"ext_bounds", 16},
     };
     for (const auto &[name, count] : expected)
         EXPECT_EQ(expand(name).size(), count) << name;

@@ -10,19 +10,26 @@
  *   drsim_lint --workload classic       # the classic mini-suite
  *   drsim_lint --json > lint.json       # machine-readable output
  *   drsim_lint --print-mix              # estimator-space mix table
+ *   drsim_lint --bounds                 # static dataflow bounds too
  *
  * Exit status: 0 when no error-severity findings (warnings allowed;
  * `--strict` promotes them), 1 when any selected program has an
- * error-severity finding, 2 on usage errors.
+ * error-severity finding, 2 on usage errors.  The JSON envelope
+ * carries the code in its "exit" member; in `--json` mode even a
+ * FatalError (exit 2) still emits a well-formed envelope (with a
+ * "fatal" message and errors >= 1) on stdout before exiting, so
+ * pipelines can always parse the output.
  *
  * JSON schema (strict RFC-8259, round-trips through json::parse):
- *   {"schema":"drsim-lint-v1","errors":N,"warnings":N,
+ *   {"schema":"drsim-lint-v1","errors":N,"warnings":N,"exit":0|1|2,
  *    "reports":[{"schema":"drsim-lint-v1","program":"compress",
  *                "errors":N,"warnings":N,
  *                "findings":[{"rule":"mem-oob-access",
  *                             "severity":"error","block":3,
  *                             "offset":2,"pc":4184,
- *                             "message":"..."}]}]}
+ *                             "message":"..."}]}],
+ *    "bounds":[...]}            // --bounds only: drsim-bounds-v1
+ *                               // objects (see RESULTS_SCHEMA.md)
  */
 
 #include <cstdio>
@@ -30,6 +37,8 @@
 #include <vector>
 
 #include "analysis/analysis.hh"
+#include "analysis/bounds.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "sim/options.hh"
 #include "workloads/classic.hh"
@@ -110,10 +119,12 @@ main(int argc, char **argv)
     std::int64_t scale = kDefaultSuiteScale;
     std::int64_t seed = 0;
     std::int64_t mix_tolerance_tenths = 30;
+    std::int64_t width = 4;
     bool json = false;
     bool strict = false;
     bool no_mix = false;
     bool print_mix = false;
+    bool bounds = false;
 
     OptionParser p;
     p.addString("workload", &workload,
@@ -131,6 +142,11 @@ main(int argc, char **argv)
     p.addFlag("print-mix", &print_mix,
               "print each program's estimator-space mix (for "
               "recalibrating the targets in src/analysis/mix.cc)");
+    p.addFlag("bounds", &bounds,
+              "report static dataflow bounds (MaxLive, IPC upper "
+              "bound, live-range lengths) per program");
+    p.addInt("width", &width,
+             "issue width the --bounds machine limits assume (4 or 8)");
 
     if (!p.parse(argc - 1, argv + 1)) {
         std::fprintf(stderr, "drsim_lint: %s\n%s", p.error().c_str(),
@@ -165,8 +181,13 @@ main(int argc, char **argv)
             return 0;
         }
 
+        if (width != 4 && width != 8)
+            fatal("--width must be 4 or 8 (got ", width, ")");
+        const analysis::MachineLimits limits =
+            analysis::MachineLimits::forIssueWidth(int(width));
+
         std::size_t errors = 0, warnings = 0;
-        std::string json_reports;
+        std::string json_reports, json_bounds;
         for (const Target &t : targets) {
             const analysis::Report report =
                 analysis::analyzeProgram(t.program, opts);
@@ -184,17 +205,42 @@ main(int argc, char **argv)
                 std::printf("%s: %s\n", t.name.c_str(),
                             report.summary().c_str());
             }
+            if (bounds) {
+                const analysis::BoundsReport br =
+                    analysis::computeBounds(t.program, limits);
+                if (json) {
+                    if (!json_bounds.empty())
+                        json_bounds += ",";
+                    json_bounds += analysis::boundsToJson(br);
+                } else {
+                    std::printf("%s",
+                                analysis::formatBounds(br).c_str());
+                }
+            }
         }
+        const int exit_code =
+            errors > 0 || (strict && warnings > 0) ? 1 : 0;
         if (json) {
             std::printf("{\"schema\":\"drsim-lint-v1\",\"errors\":%zu,"
-                        "\"warnings\":%zu,\"reports\":[%s]}\n",
-                        errors, warnings, json_reports.c_str());
+                        "\"warnings\":%zu,\"exit\":%d,\"reports\":[%s]",
+                        errors, warnings, exit_code,
+                        json_reports.c_str());
+            if (bounds)
+                std::printf(",\"bounds\":[%s]", json_bounds.c_str());
+            std::printf("}\n");
         }
-        if (errors > 0 || (strict && warnings > 0))
-            return 1;
+        return exit_code;
     } catch (const FatalError &e) {
+        // In --json mode the contract is "stdout always carries one
+        // parseable envelope", even when target resolution or an
+        // analysis gate throws before any report was serialized.
+        if (json) {
+            std::printf("{\"schema\":\"drsim-lint-v1\",\"errors\":1,"
+                        "\"warnings\":0,\"exit\":2,\"fatal\":\"%s\","
+                        "\"reports\":[]}\n",
+                        json::escape(e.what()).c_str());
+        }
         std::fprintf(stderr, "drsim_lint: %s\n", e.what());
         return 2;
     }
-    return 0;
 }
