@@ -1,0 +1,86 @@
+#include "common/disk_lru.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <ranges>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace drsim {
+
+namespace fs = std::filesystem;
+
+std::uint64_t
+enforceDirByteCap(const std::string &dir, std::uint64_t max_bytes)
+{
+    if (max_bytes == 0)
+        return 0;
+
+    struct Entry
+    {
+        std::string path;
+        std::uint64_t bytes;
+        fs::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+
+    std::error_code ec;
+    fs::recursive_directory_iterator it(
+        dir, fs::directory_options::skip_permission_denied, ec);
+    if (ec)
+        return 0; // directory absent: nothing to evict
+    for (const fs::directory_entry &de :
+         std::ranges::subrange(it, fs::recursive_directory_iterator{})) {
+        std::error_code fec;
+        if (!de.is_regular_file(fec) || fec)
+            continue;
+        const std::string path = de.path().string();
+        if (path.find(".tmp.") != std::string::npos)
+            continue; // a writer is about to rename this into place
+        const std::uint64_t bytes = de.file_size(fec);
+        if (fec)
+            continue;
+        const fs::file_time_type mtime = de.last_write_time(fec);
+        if (fec)
+            continue;
+        total += bytes;
+        entries.push_back({path, bytes, mtime});
+    }
+    if (total <= max_bytes)
+        return 0;
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+
+    std::uint64_t evicted = 0;
+    for (const Entry &e : entries) {
+        if (total <= max_bytes)
+            break;
+        std::error_code rec;
+        if (!fs::remove(e.path, rec) || rec) {
+            if (rec) {
+                warn("cache eviction could not remove '", e.path,
+                     "': ", rec.message());
+            }
+            continue;
+        }
+        total -= std::min(total, e.bytes);
+        ++evicted;
+    }
+    return evicted;
+}
+
+void
+touchFile(const std::string &path)
+{
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+}
+
+} // namespace drsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Byte-budgeted LRU eviction for on-disk content-addressed caches.
+ *
+ * Both disk caches (the sweep-point cache and the checkpoint library)
+ * are directories of immutable, atomically-renamed files whose names
+ * are content hashes.  Deleting any file is always safe — a reader
+ * that loses the race simply misses and recomputes — so an LRU policy
+ * reduces to "delete oldest files until the directory fits the
+ * budget".  Recency is the file's mtime: stores create files with a
+ * fresh mtime, and loaders call touchFile() on a hit, which is the
+ * entire LRU bookkeeping.
+ *
+ * Eviction runs under whatever lock the owning cache holds for its
+ * statistics, but the filesystem operations themselves are safe
+ * against concurrent processes: a file deleted under a racing reader
+ * turns into an ordinary cache miss.
+ */
+
+#ifndef DRSIM_COMMON_DISK_LRU_HH
+#define DRSIM_COMMON_DISK_LRU_HH
+
+#include <cstdint>
+#include <string>
+
+namespace drsim {
+
+/**
+ * If the regular files under @p dir (recursively) total more than
+ * @p max_bytes, delete them oldest-mtime-first until the total fits
+ * (ties broken by path so the scan is deterministic).  @p max_bytes
+ * of 0 means unbounded and is a no-op.  In-flight temp files (any
+ * path containing ".tmp.") are skipped — their writers hold them for
+ * only an instant, and deleting one mid-write would turn an atomic
+ * publish into an error.  Returns the number of files evicted;
+ * filesystem errors are warned about, never fatal (a cache that
+ * cannot evict still works, it just overshoots its budget).
+ */
+std::uint64_t enforceDirByteCap(const std::string &dir,
+                                std::uint64_t max_bytes);
+
+/**
+ * Mark @p path recently-used by bumping its mtime to now.  Best
+ * effort: failure (e.g. the file was just evicted by another process)
+ * is silently ignored.
+ */
+void touchFile(const std::string &path);
+
+} // namespace drsim
+
+#endif // DRSIM_COMMON_DISK_LRU_HH

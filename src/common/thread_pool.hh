@@ -13,6 +13,17 @@
  * one after the batch has drained, leaving the pool reusable.  This is
  * how fatal() configuration errors raised inside a worker reach the
  * submitting thread (see logging.hh).
+ *
+ * TaskGroup adds one level of *nested* parallelism for the sampling
+ * driver (DESIGN.md §5j): a task already running on a pool worker can
+ * fan its measured windows out over the same pool without
+ * oversubscribing it.  The owning thread's TaskGroup::wait() first
+ * *helps* — it claims and runs its own group's still-queued tasks
+ * inline — and only blocks once every remaining group task is in the
+ * hands of another worker.  Group tasks must therefore never block on
+ * the pool themselves (they may not create sub-groups); under that
+ * rule the helping owner guarantees forward progress even on a
+ * single-worker pool, so the construction is deadlock-free.
  */
 
 #ifndef DRSIM_COMMON_THREAD_POOL_HH
@@ -25,6 +36,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace drsim {
@@ -32,6 +44,8 @@ namespace drsim {
 class ThreadPool
 {
   public:
+    class TaskGroup;
+
     /** Spawn @p num_threads workers (values < 1 are clamped to 1). */
     explicit ThreadPool(int num_threads)
     {
@@ -58,13 +72,21 @@ class ThreadPool
 
     int numThreads() const { return int(workers_.size()); }
 
+    /**
+     * The pool whose worker the calling thread is, or nullptr when
+     * called from any other thread.  Lets nested code (the sampling
+     * driver) discover that it is already running on a pool and join
+     * it via a TaskGroup instead of spawning a second pool.
+     */
+    static ThreadPool *current() { return tlsCurrent_; }
+
     /** Enqueue @p task; it may start running immediately. */
     void
     submit(std::function<void()> task)
     {
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            tasks_.push_back(std::move(task));
+            tasks_.push_back({std::move(task), nullptr});
             ++unfinished_;
         }
         workAvailable_.notify_one();
@@ -72,9 +94,11 @@ class ThreadPool
 
     /**
      * Block until every task submitted so far has finished.  If any
-     * task threw, rethrows the first captured exception (later ones
-     * are dropped) and clears it, so the pool stays usable for the
-     * next batch.  Waiting on an empty pool returns immediately.
+     * ungrouped task threw, rethrows the first captured exception
+     * (later ones are dropped) and clears it, so the pool stays usable
+     * for the next batch.  Waiting on an empty pool returns
+     * immediately.  (Grouped tasks deliver their exceptions through
+     * TaskGroup::wait() instead.)
      */
     void
     wait()
@@ -110,11 +134,22 @@ class ThreadPool
     }
 
   private:
+    struct Task
+    {
+        std::function<void()> body;
+        TaskGroup *group;
+    };
+
+    void submitGrouped(TaskGroup *group, std::function<void()> task);
+    bool runOneGroupTask(TaskGroup *group);
+    void runTask(Task &&task);
+
     void
     workerLoop()
     {
+        tlsCurrent_ = this;
         for (;;) {
-            std::function<void()> task;
+            Task task;
             {
                 std::unique_lock<std::mutex> lock(mutex_);
                 workAvailable_.wait(lock, [this] {
@@ -125,32 +160,147 @@ class ThreadPool
                 task = std::move(tasks_.front());
                 tasks_.pop_front();
             }
-            std::exception_ptr err;
-            try {
-                task();
-            } catch (...) {
-                err = std::current_exception();
-            }
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                if (err && !firstError_)
-                    firstError_ = err;
-                --unfinished_;
-                if (unfinished_ == 0)
-                    batchDone_.notify_all();
-            }
+            runTask(std::move(task));
         }
     }
+
+    inline static thread_local ThreadPool *tlsCurrent_ = nullptr;
 
     std::mutex mutex_;
     std::condition_variable workAvailable_;
     std::condition_variable batchDone_;
-    std::deque<std::function<void()>> tasks_;
+    std::deque<Task> tasks_;
     std::vector<std::thread> workers_;
     std::size_t unfinished_ = 0;
     bool stopping_ = false;
     std::exception_ptr firstError_;
 };
+
+/**
+ * A batch of tasks fanned out on an existing pool by one *owning*
+ * thread (typically itself a pool worker).  The owner submits, then
+ * wait()s; no other thread may touch the group.  Group tasks must not
+ * block on the pool (no nested groups) — see the file comment for the
+ * deadlock-freedom argument.
+ */
+class ThreadPool::TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool) : pool_(pool) {}
+
+    /** Drains remaining tasks; any pending exception is dropped (call
+     *  wait() yourself to observe it). */
+    ~TaskGroup()
+    {
+        try {
+            wait();
+        } catch (...) {
+        }
+    }
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Enqueue @p task on the underlying pool under this group. */
+    void
+    submit(std::function<void()> task)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++unfinished_;
+        }
+        pool_.submitGrouped(this, std::move(task));
+    }
+
+    /**
+     * Run this group's still-queued tasks inline, then block until the
+     * ones other workers claimed have finished.  Rethrows the first
+     * captured task exception (and clears it, leaving the group
+     * reusable).
+     */
+    void
+    wait()
+    {
+        while (pool_.runOneGroupTask(this)) {
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return unfinished_ == 0; });
+        if (firstError_) {
+            std::exception_ptr err = firstError_;
+            firstError_ = nullptr;
+            std::rethrow_exception(err);
+        }
+    }
+
+  private:
+    friend class ThreadPool;
+
+    void
+    finish(std::exception_ptr err)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (err && !firstError_)
+            firstError_ = err;
+        if (--unfinished_ == 0)
+            done_.notify_all();
+    }
+
+    ThreadPool &pool_;
+    std::mutex mutex_;
+    std::condition_variable done_;
+    std::size_t unfinished_ = 0;
+    std::exception_ptr firstError_;
+};
+
+inline void
+ThreadPool::submitGrouped(TaskGroup *group, std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back({std::move(task), group});
+        ++unfinished_;
+    }
+    workAvailable_.notify_one();
+}
+
+inline bool
+ThreadPool::runOneGroupTask(TaskGroup *group)
+{
+    Task task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = tasks_.begin();
+        while (it != tasks_.end() && it->group != group)
+            ++it;
+        if (it == tasks_.end())
+            return false;
+        task = std::move(*it);
+        tasks_.erase(it);
+    }
+    runTask(std::move(task));
+    return true;
+}
+
+inline void
+ThreadPool::runTask(Task &&task)
+{
+    std::exception_ptr err;
+    try {
+        task.body();
+    } catch (...) {
+        err = std::current_exception();
+    }
+    if (task.group != nullptr)
+        task.group->finish(err);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (err && task.group == nullptr && !firstError_)
+            firstError_ = err;
+        --unfinished_;
+        if (unfinished_ == 0)
+            batchDone_.notify_all();
+    }
+}
 
 } // namespace drsim
 

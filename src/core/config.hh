@@ -42,6 +42,16 @@ struct SamplingConfig
     std::uint64_t window = 0;
     /** Detailed warm-up before each measured window. */
     std::uint64_t warmup = 0;
+    /**
+     * Functional-warming horizon: instructions before each detailed
+     * phase that are replayed through the configuration's caches and
+     * branch predictor (architecturally, no timing) so the measured
+     * window starts from representatively warm microarchitectural
+     * state instead of a cold machine.  0 = the whole inter-window
+     * gap (maximal warming, the default); values larger than a gap
+     * clamp to it.
+     */
+    std::uint64_t warmff = 0;
 
     bool enabled() const { return interval != 0; }
 

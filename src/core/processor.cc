@@ -53,6 +53,12 @@ Processor::Processor(const CoreConfig &config, Program &&program)
 {
 }
 
+Processor::Processor(const CoreConfig &config, const Program &program,
+                     const EmuArchState &restore_from)
+    : Processor(config, &program, nullptr, &restore_from)
+{
+}
+
 namespace {
 
 /** Validate before any member depends on the configuration. */
@@ -66,11 +72,13 @@ validated(const CoreConfig &config)
 } // namespace
 
 Processor::Processor(const CoreConfig &config, const Program *external,
-                     std::unique_ptr<const Program> owned)
+                     std::unique_ptr<const Program> owned,
+                     const EmuArchState *restore_from)
     : config_(validated(config)),
       ownedProgram_(std::move(owned)),
       program_(external != nullptr ? *external : *ownedProgram_),
-      emu_(program_),
+      emu_(restore_from != nullptr ? Emulator(program_, *restore_from)
+                                   : Emulator(program_)),
       dcache_(config.cacheKind, config.dcache),
       icache_(config.icache),
       rename_(config.numPhysRegs, config.exceptionModel),
@@ -136,6 +144,97 @@ Processor::runDetailed(std::uint64_t target_committed)
         if (skip && !done() && stats_.committed < target_committed)
             skipStallCycles();
     }
+}
+
+void
+ProcStats::merge(const ProcStats &other)
+{
+    cycles += other.cycles;
+
+    committed += other.committed;
+    committedLoads += other.committedLoads;
+    committedStores += other.committedStores;
+    committedCondBranches += other.committedCondBranches;
+
+    executed += other.executed;
+    executedLoads += other.executedLoads;
+    executedStores += other.executedStores;
+    executedCondBranches += other.executedCondBranches;
+
+    mispredictedBranches += other.mispredictedBranches;
+    recoveries += other.recoveries;
+    squashedInsts += other.squashedInsts;
+    forwardedLoads += other.forwardedLoads;
+
+    insertStallNoRegCycles += other.insertStallNoRegCycles;
+    insertStallDqFullCycles += other.insertStallDqFullCycles;
+    noFreeRegCycles += other.noFreeRegCycles;
+    fetchBlockedCycles += other.fetchBlockedCycles;
+    writeBufferStallCycles += other.writeBufferStallCycles;
+
+    for (int i = 0; i < kNumCycleCauses; ++i)
+        causeCycles[i] += other.causeCycles[i];
+
+    dqDepth.merge(other.dqDepth);
+    windowDepth.merge(other.windowDepth);
+    storeQueueDepth.merge(other.storeQueueDepth);
+    for (int c = 0; c < kNumRegClasses; ++c) {
+        for (int l = 0; l < 4; ++l)
+            live[c][l].merge(other.live[c][l]);
+    }
+}
+
+void
+Processor::restoreArchState(const EmuArchState &state)
+{
+    if (now_ != 0 || stats_.committed != 0 || !window_.empty()) {
+        DRSIM_PANIC(
+            "restoreArchState() on a machine that already ran");
+    }
+    emu_.restoreArchState(state);
+}
+
+std::uint64_t
+Processor::warmFastForward(std::uint64_t n)
+{
+    if (now_ != 0 || stats_.committed != 0 || !window_.empty()) {
+        DRSIM_PANIC(
+            "warmFastForward() on a machine that already ran");
+    }
+
+    // Replay the architectural stream into the microarchitectural
+    // predictors.  The branch predictor is trained the way the
+    // pipeline would on a perfectly predicted run: predict (to age
+    // the history), then update against the history the prediction
+    // used.
+    struct Warmer : Emulator::FfObserver
+    {
+        Processor &p;
+        explicit Warmer(Processor &proc) : p(proc) {}
+        void ffFetch(Addr pc) override { p.icache_.warmFetch(pc); }
+        void
+        ffMem(Addr addr, bool is_store) override
+        {
+            if (is_store)
+                p.dcache_.warmStore(addr);
+            else
+                p.dcache_.warmLoad(addr);
+        }
+        void
+        ffBranch(Addr pc, bool taken) override
+        {
+            p.pred_.update(pc, p.pred_.history(), taken);
+            p.pred_.shiftHistory(taken);
+        }
+    };
+
+    Warmer warmer(*this);
+    emu_.setFfObserver(&warmer);
+    const std::uint64_t done = emu_.fastForward(n);
+    emu_.setFfObserver(nullptr);
+    icache_.finishWarm();
+    dcache_.finishWarm();
+    return done;
 }
 
 std::uint64_t

@@ -178,6 +178,16 @@ struct ProcStats
         return live[int(cls)][3].maxValue();
     }
 
+    /**
+     * Accumulate @p other into this.  Counters add, histograms merge
+     * bucket-wise, causeCycles add — so sum(causeCycles) == cycles
+     * still holds for the merged stats.  The window-parallel sampling
+     * driver uses this to combine per-window processors in interval
+     * order (DESIGN.md §5j); derived ratios recompute on demand from
+     * the merged counters.
+     */
+    void merge(const ProcStats &other);
+
     double
     issueIpc() const
     {
@@ -207,6 +217,16 @@ class Processor
     /** Owning overload: safe to pass a temporary Program. */
     Processor(const CoreConfig &config, Program &&program);
 
+    /**
+     * Construct with the emulator already in @p restore_from, skipping
+     * the initial-image build entirely (one bulk snapshot copy instead
+     * of three passes over the data segment).  Equivalent to
+     * construction followed by restoreArchState(); the sampling
+     * driver's per-window tasks use this on every checkpoint restore.
+     */
+    Processor(const CoreConfig &config, const Program &program,
+              const EmuArchState &restore_from);
+
     /** Advance one cycle. */
     void tick();
 
@@ -233,6 +253,31 @@ class Processor
      * during the functional phase.
      */
     std::uint64_t fastForward(std::uint64_t n);
+
+    /**
+     * Restore a saved architectural snapshot into a *fresh* machine
+     * (no cycles run, nothing fetched): the sampling driver constructs
+     * one Processor per measured window and resumes it from the
+     * interval's checkpoint (DESIGN.md §5j).  Microarchitectural state
+     * (caches, predictor, rename) stays at reset — the stat-gated
+     * warm-up re-fills it.  Panics if the machine already ran.
+     */
+    void restoreArchState(const EmuArchState &state);
+
+    /**
+     * Functional warming (DESIGN.md §5j): architecturally execute up
+     * to @p n instructions, replaying the stream into this
+     * configuration's instruction cache, data cache, and branch
+     * predictor — no timing, no stats.  Run between restoreArchState()
+     * and the detailed warm-up so the measured window starts from
+     * representatively warm microarchitectural state instead of a
+     * cold machine.  Deterministic: the warmed state is a pure
+     * function of the snapshot, the instruction stream, and the
+     * configuration.  Returns the instructions executed (fewer than
+     * @p n only at the program's halt).  Must precede any detailed
+     * execution.
+     */
+    std::uint64_t warmFastForward(std::uint64_t n);
 
     /**
      * Gate the per-cycle occupancy/live histograms (sampling warm-up:
@@ -293,7 +338,8 @@ class Processor
 
   private:
     Processor(const CoreConfig &config, const Program *external,
-              std::unique_ptr<const Program> owned);
+              std::unique_ptr<const Program> owned,
+              const EmuArchState *restore_from = nullptr);
 
     struct CompletionEvent
     {

@@ -32,11 +32,11 @@ RunContext::fromEnv()
 SamplingConfig
 parseSamplingSpec(const std::string &text)
 {
-    std::uint64_t fields[3] = {0, 0, 0};
+    std::uint64_t fields[4] = {0, 0, 0, 0};
     int nfields = 0;
     std::size_t pos = 0;
     bool trailing = false;
-    while (nfields < 3) {
+    while (nfields < 4) {
         const std::size_t colon = text.find(':', pos);
         const std::string part = text.substr(
             pos, colon == std::string::npos ? std::string::npos
@@ -44,8 +44,8 @@ parseSamplingSpec(const std::string &text)
         if (part.empty() ||
             part.find_first_not_of("0123456789") != std::string::npos) {
             fatal("bad sampling spec '", text,
-                  "': expected INTERVAL[:WINDOW[:WARMUP]] with "
-                  "decimal instruction counts");
+                  "': expected INTERVAL[:WINDOW[:WARMUP[:WARMFF]]] "
+                  "with decimal instruction counts");
         }
         fields[nfields++] = std::strtoull(part.c_str(), nullptr, 10);
         trailing = colon != std::string::npos;
@@ -64,6 +64,7 @@ parseSamplingSpec(const std::string &text)
                              : std::max<std::uint64_t>(
                                    sc.interval / 20, 1);
     sc.warmup = nfields >= 3 ? fields[2] : sc.window;
+    sc.warmff = nfields >= 4 ? fields[3] : 0;
     if (sc.window == 0)
         fatal("bad sampling spec '", text, "': window must be > 0");
     if (sc.interval <= sc.warmup + sc.window) {
@@ -344,6 +345,8 @@ configSummary(const CoreConfig &cfg)
         s += " sample=" + std::to_string(cfg.sampling.interval) + ":" +
              std::to_string(cfg.sampling.window) + ":" +
              std::to_string(cfg.sampling.warmup);
+        if (cfg.sampling.warmff != 0)
+            s += ":" + std::to_string(cfg.sampling.warmff);
     }
     return s;
 }

@@ -12,10 +12,22 @@
  * Extra knobs on top of the usual harness environment variables:
  *   DRSIM_BENCH_REPS  timing repetitions per (workload, scheduler)
  *                     leg; best-of-reps is recorded (default 3)
- *   DRSIM_SAMPLE_BENCH  sampling spec (INTERVAL[:WINDOW[:WARMUP]],
- *                     see parseSamplingSpec) for the sampled-mode
+ *   DRSIM_SAMPLE_BENCH  sampling spec
+ *                     (INTERVAL[:WINDOW[:WARMUP[:WARMFF]]], see
+ *                     parseSamplingSpec) for the sampled-mode
  *                     comparison leg; default "40000:1000:4000".
  *                     Set to "off" to skip the sampled block.
+ *   DRSIM_PSAMPLE_BENCH  sampling spec for the checkpoint-warm
+ *                     parallel-sampled leg; default
+ *                     "400000:500:500:1000" — sparse windows with
+ *                     bounded functional warming, the cost regime of
+ *                     a 96-point register-file sweep, where the
+ *                     functional fast-forward dominates each sweep
+ *                     point and the checkpoint library can amortize
+ *                     it.  Set to "off" to skip the block.
+ *   DRSIM_PSAMPLE_SCALE  DRSIM_SCALE the parallel-sampled leg builds
+ *                     its own suite at (default 60; sampling's
+ *                     benchmark regime is the long workload).
  *   DRSIM_E2E_BASELINE_FIG7 / DRSIM_E2E_CURRENT_FIG7
  *                     paths to fig7 binaries built at the
  *                     pre-event-core revision and at this revision;
@@ -168,8 +180,17 @@ measureSampled(SpeedRunInfo &info, const CoreConfig &event_cfg,
     CoreConfig sampled_cfg = event_cfg;
     sampled_cfg.sampling = parseSamplingSpec(spec);
 
-    std::printf("\nsampled mode (interval %llu, window %llu, "
-                "warmup %llu), best of %d rep(s):\n",
+    // This leg is the tracked serial baseline: checkpoint library off
+    // (every rep pays the full functional fast-forward) and windows
+    // serial — the PR 7 sampling cost model.  The checkpoint-warm
+    // parallel leg is measured against it below.
+    SamplingExecPolicy serial;
+    serial.useCkptLibrary = false;
+    serial.windowJobs = 1;
+    setSamplingExecPolicy(serial);
+
+    std::printf("\nsampled mode, serial baseline (interval %llu, "
+                "window %llu, warmup %llu), best of %d rep(s):\n",
                 (unsigned long long)sampled_cfg.sampling.interval,
                 (unsigned long long)sampled_cfg.sampling.window,
                 (unsigned long long)sampled_cfg.sampling.warmup, reps);
@@ -182,6 +203,7 @@ measureSampled(SpeedRunInfo &info, const CoreConfig &event_cfg,
     sp.interval = sampled_cfg.sampling.interval;
     sp.window = sampled_cfg.sampling.window;
     sp.warmup = sampled_cfg.sampling.warmup;
+    sp.warmff = sampled_cfg.sampling.warmff;
     for (std::size_t i = 0; i < suite.size(); ++i) {
         SimResult res;
         SampledSpeedSample s;
@@ -220,6 +242,132 @@ measureSampled(SpeedRunInfo &info, const CoreConfig &event_cfg,
     std::printf("%-10s %9.3fs %9.3fs %7.2fx\n", "aggregate", full_s,
                 sampled_s, full_s / sampled_s);
     info.sampled = std::move(sp);
+    setSamplingExecPolicy(SamplingExecPolicy{});
+}
+
+/** Abort unless two sampled runs produced identical statistics. */
+void
+checkSampledIdentical(const SimResult &a, const SimResult &b)
+{
+    bool same = a.proc.committed == b.proc.committed &&
+                a.proc.cycles == b.proc.cycles &&
+                a.proc.executed == b.proc.executed &&
+                a.sampled.windows == b.sampled.windows &&
+                a.sampled.fastForwarded == b.sampled.fastForwarded &&
+                a.sampled.warmupInsts == b.sampled.warmupInsts &&
+                a.sampled.measuredInsts == b.sampled.measuredInsts &&
+                a.sampled.measuredCycles == b.sampled.measuredCycles &&
+                a.sampled.ipcEstimate == b.sampled.ipcEstimate &&
+                a.sampled.ci95 == b.sampled.ci95;
+    for (int c = 0; c < kNumCycleCauses; ++c)
+        same = same && a.proc.causeCycles[c] == b.proc.causeCycles[c];
+    if (!same)
+        fatal("checkpoint-warm parallel sampled statistics diverged "
+              "from the serial baseline on workload '", a.workload,
+              "' — refusing to report a speedup");
+}
+
+/**
+ * The checkpoint-library leg: the sampled sweep cost at a
+ * sweep-realistic spec (sparse windows, bounded functional warming —
+ * the regime of a 96-point register-file sweep, where the functional
+ * fast-forward dominates each point), first with the library disabled
+ * and windows serial (every run pays the full fast-forward — the PR 7
+ * cost model), then checkpoint-warm with the measured windows fanned
+ * out across the thread pool.  Statistics must match exactly.
+ *
+ * The leg builds its own suite at DRSIM_PSAMPLE_SCALE (default 60):
+ * sampling amortizes the functional fast-forward, so its benchmark
+ * regime is the long workload.  At the tiny top-level bench scale the
+ * detailed windows dominate the run and the ratio degenerates toward
+ * 1 no matter how well the library amortizes the fast-forward.
+ */
+void
+measureParallelSampled(SpeedRunInfo &info,
+                       const CoreConfig &event_cfg, int reps)
+{
+    const char *env = std::getenv("DRSIM_PSAMPLE_BENCH");
+    const std::string spec =
+        env != nullptr && env[0] != '\0' ? env : "400000:500:500:1000";
+    if (spec == "off")
+        return;
+    const int scale = int(envU64("DRSIM_PSAMPLE_SCALE", 60));
+    const std::vector<Workload> suite = buildSpec92Suite(scale);
+
+    CoreConfig sampled_cfg = event_cfg;
+    sampled_cfg.sampling = parseSamplingSpec(spec);
+
+    std::printf("\ncheckpoint-warm parallel sampled vs serial "
+                "baseline (scale %d, interval %llu, window %llu, "
+                "warmup %llu, warmff %llu), best of %d rep(s):\n",
+                scale,
+                (unsigned long long)sampled_cfg.sampling.interval,
+                (unsigned long long)sampled_cfg.sampling.window,
+                (unsigned long long)sampled_cfg.sampling.warmup,
+                (unsigned long long)sampled_cfg.sampling.warmff,
+                reps);
+    std::printf("%-10s %10s %10s %8s %9s %9s %5s\n", "workload",
+                "serial s", "warm s", "speedup", "ckpt acq",
+                "windows s", "jobs");
+
+    ParallelSampled ps;
+    ps.present = true;
+    ps.scale = scale;
+    ps.interval = sampled_cfg.sampling.interval;
+    ps.window = sampled_cfg.sampling.window;
+    ps.warmup = sampled_cfg.sampling.warmup;
+    ps.warmff = sampled_cfg.sampling.warmff;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        // Serial baseline: library off, so every rep regenerates the
+        // full functional fast-forward, and windows run in order.
+        SamplingExecPolicy serial;
+        serial.useCkptLibrary = false;
+        serial.windowJobs = 1;
+        setSamplingExecPolicy(serial);
+        SimResult base_res;
+        ParallelSampledSample s;
+        s.workload = suite[i].spec->name;
+        s.baseline.total =
+            timedRun(sampled_cfg, suite[i], reps, base_res);
+        s.baseline.acquire = base_res.profile.acquireSeconds;
+        s.baseline.warmup = base_res.profile.warmupSeconds;
+        s.baseline.window = base_res.profile.windowSeconds;
+
+        // Checkpoint-warm leg.  The priming run (untimed) generates
+        // the workload's checkpoint plan and publishes it in the
+        // library's memory tier — the state every later sweep point
+        // of this workload sees.
+        setSamplingExecPolicy(SamplingExecPolicy{});
+        SimResult primed = simulate(sampled_cfg, suite[i]);
+        checkSampledIdentical(base_res, primed);
+
+        SimResult res;
+        s.warm.total = timedRun(sampled_cfg, suite[i], reps, res);
+        checkSampledIdentical(base_res, res);
+        s.warm.acquire = res.profile.acquireSeconds;
+        s.warm.warmup = res.profile.warmupSeconds;
+        s.warm.window = res.profile.windowSeconds;
+        s.ckptHits = res.profile.ckptHits;
+        s.ckptGenerated = res.profile.ckptGenerated;
+        s.windowJobs = res.profile.windowJobs;
+
+        std::printf("%-10s %9.4fs %9.4fs %7.2fx %8.4fs %8.4fs %5d\n",
+                    s.workload.c_str(), s.baseline.total,
+                    s.warm.total, s.baseline.total / s.warm.total,
+                    s.warm.acquire, s.warm.window, s.windowJobs);
+        ps.samples.push_back(std::move(s));
+    }
+
+    double base_s = 0.0;
+    double warm_s = 0.0;
+    for (const ParallelSampledSample &s : ps.samples) {
+        base_s += s.baseline.total;
+        warm_s += s.warm.total;
+    }
+    std::printf("%-10s %9.4fs %9.4fs %7.2fx\n", "aggregate", base_s,
+                warm_s, base_s / warm_s);
+    info.parallelSampled = std::move(ps);
+    setSamplingExecPolicy(SamplingExecPolicy{});
 }
 
 } // namespace
@@ -296,6 +444,7 @@ runSimspeed(const RunContext &ctx)
     info.numPhysRegs = event_cfg.numPhysRegs;
     measureSampled(info, event_cfg, suite, reps, event_seconds,
                    event_results);
+    measureParallelSampled(info, event_cfg, reps);
     measureEndToEnd(info, ctx.resultsDir);
     const std::string path = ctx.resultsDir + "/BENCH_simspeed.json";
     try {

@@ -312,4 +312,115 @@ InstCache::fetch(Addr pc, Cycle now)
     return now + config_.missPenalty;
 }
 
+namespace {
+
+/**
+ * Shared tail of functional warming: rewrite each set's valid lines'
+ * lastUsed to their recency rank (0 = oldest), so every warm stamp
+ * sorts below any cycle number the detailed run will produce while
+ * the warmed LRU order survives.  @p Line needs valid/lastUsed.
+ */
+template <typename Line>
+void
+rebaseWarmRanks(std::vector<Line> &lines, std::uint32_t num_sets,
+                std::uint32_t assoc)
+{
+    std::vector<Line *> ways;
+    for (std::uint32_t set = 0; set < num_sets; ++set) {
+        Line *base = &lines[std::size_t(set) * assoc];
+        ways.clear();
+        for (std::uint32_t w = 0; w < assoc; ++w)
+            if (base[w].valid)
+                ways.push_back(&base[w]);
+        std::sort(ways.begin(), ways.end(),
+                  [](const Line *a, const Line *b) {
+                      return a->lastUsed < b->lastUsed;
+                  });
+        for (std::size_t r = 0; r < ways.size(); ++r)
+            ways[r]->lastUsed = Cycle(r);
+    }
+}
+
+} // namespace
+
+void
+DataCache::warmLoad(Addr addr)
+{
+    if (kind_ == CacheKind::Perfect)
+        return;
+    ++warmTick_;
+    if (Line *line = findLine(addr)) {
+        line->lastUsed = warmTick_;
+        return;
+    }
+    const std::uint32_t set = setOf(addr);
+    const std::uint32_t way = victimWay(set);
+    if (way == config_.assoc)
+        return; // unreachable pre-run (no line is mid-fill)
+    Line &line = lines_[std::size_t(set) * config_.assoc + way];
+    line.valid = true;
+    line.tag = tagOf(addr);
+    line.validFrom = 0;
+    line.lastUsed = warmTick_;
+    line.fetchId = -1;
+}
+
+void
+DataCache::warmStore(Addr addr)
+{
+    if (kind_ == CacheKind::Perfect)
+        return;
+    ++warmTick_;
+    // Write-through/write-around: a store only refreshes the recency
+    // of a line it hits, it never allocates.
+    if (Line *line = findLine(addr))
+        line->lastUsed = warmTick_;
+}
+
+void
+DataCache::finishWarm()
+{
+    if (warmTick_ == 0)
+        return;
+    rebaseWarmRanks(lines_, numSets_, config_.assoc);
+    warmTick_ = 0;
+}
+
+void
+InstCache::warmFetch(Addr pc)
+{
+    ++warmTick_;
+    const std::uint32_t set =
+        std::uint32_t(pc / config_.lineBytes) & (numSets_ - 1);
+    const Addr tag = pc / config_.lineBytes / numSets_;
+    Line *base = &lines_[std::size_t(set) * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lastUsed = warmTick_;
+            return;
+        }
+    }
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].lastUsed < base[victim].lastUsed)
+            victim = w;
+    }
+    base[victim].valid = true;
+    base[victim].tag = tag;
+    base[victim].lastUsed = warmTick_;
+}
+
+void
+InstCache::finishWarm()
+{
+    if (warmTick_ == 0)
+        return;
+    rebaseWarmRanks(lines_, numSets_, config_.assoc);
+    warmTick_ = 0;
+}
+
 } // namespace drsim

@@ -152,6 +152,25 @@ class DataCache
     /** Load-use latency of a hit (hit latency + load-delay slot). */
     Cycle hitUseLatency() const { return config_.hitLatency + 1; }
 
+    /// @name Functional warming (sampled-mode gap replay, DESIGN.md §5j)
+    /// @{
+    /**
+     * Touch the tag state for a fast-forwarded load: hit updates the
+     * recency, miss fills the LRU victim immediately.  No stats, no
+     * MSHR/timing state; call only before the machine has run.
+     */
+    void warmLoad(Addr addr);
+    /** Fast-forwarded store: write-around, so recency update only. */
+    void warmStore(Addr addr);
+    /**
+     * Rebase warm recency to per-set ranks below every real cycle
+     * number, so the detailed run's LRU decisions see the warmed
+     * ordering but never prefer a warm line over a line it touched
+     * itself.  Call once, after the last warm touch.
+     */
+    void finishWarm();
+    /// @}
+
   private:
     struct Line
     {
@@ -191,6 +210,8 @@ class DataCache
     /** Finite-write-buffer occupancy and last drain time. */
     std::uint32_t wbOccupancy_ = 0;
     Cycle wbLastDrain_ = 0;
+    /** Monotonic warm-touch order; nonzero only mid-warming. */
+    Cycle warmTick_ = 0;
     DCacheStats stats_;
 };
 
@@ -215,6 +236,11 @@ class InstCache
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t misses() const { return misses_; }
 
+    /** Functional warming: touch without stats (see DataCache). */
+    void warmFetch(Addr pc);
+    /** Rebase warm recency to per-set ranks (see DataCache). */
+    void finishWarm();
+
   private:
     struct Line
     {
@@ -228,6 +254,7 @@ class InstCache
     std::vector<Line> lines_;
     std::uint64_t accesses_ = 0;
     std::uint64_t misses_ = 0;
+    Cycle warmTick_ = 0;
 };
 
 } // namespace drsim

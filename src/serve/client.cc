@@ -228,7 +228,9 @@ runRequestPrefix(const exp::RunContext &ctx)
                   ",\"window\":" +
                   std::to_string(ctx.sampling.window) +
                   ",\"warmup\":" +
-                  std::to_string(ctx.sampling.warmup) + "}";
+                  std::to_string(ctx.sampling.warmup) +
+                  ",\"warmff\":" +
+                  std::to_string(ctx.sampling.warmff) + "}";
     }
     return prefix;
 }

@@ -1,16 +1,17 @@
 #include "serve/point_cache.hh"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <unistd.h>
 
+#include "common/disk_lru.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "serve/result_io.hh"
+#include "workloads/digest.hh"
 #include "workloads/program.hh"
 
 namespace drsim {
@@ -18,22 +19,10 @@ namespace serve {
 
 namespace {
 
-/** Bump on any result-affecting simulator change (docs/SERVER.md). */
-constexpr const char *kBuiltinRev = "sim-v1";
-
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-
-std::uint64_t
-fnv1aStep(std::uint64_t h, std::uint64_t v)
-{
-    // Hash the eight bytes of v little-endian.
-    for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (8 * i)) & 0xff;
-        h *= kFnvPrime;
-    }
-    return h;
-}
+/** Bump on any result-affecting simulator change (docs/SERVER.md).
+ *  v2: sampled runs moved to the checkpoint-restored window-parallel
+ *  driver (DESIGN.md §5j), which changes sampled statistics. */
+constexpr const char *kBuiltinRev = "sim-v2";
 
 } // namespace
 
@@ -49,57 +38,13 @@ pointCacheRev()
 std::string
 fnv1aHex(const std::string &text)
 {
-    std::uint64_t h = kFnvOffset;
-    for (const char c : text) {
-        h ^= static_cast<unsigned char>(c);
-        h *= kFnvPrime;
-    }
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(h));
-    return buf;
+    return drsim::fnv1aHex(text); // workloads/digest.hh
 }
 
 std::string
 programDigest(const Program &program)
 {
-    std::uint64_t h = kFnvOffset;
-    for (const BasicBlock &bb : program.blocks()) {
-        // Block boundary marker so moving an instruction across a
-        // block edge changes the digest even if the flat instruction
-        // sequence does not.
-        h = fnv1aStep(h, 0xb10cb10cb10cb10cull);
-        for (const Instruction &inst : bb.insts) {
-            h = fnv1aStep(h, static_cast<std::uint64_t>(inst.op));
-            h = fnv1aStep(h,
-                          (std::uint64_t(std::uint8_t(inst.dest.cls))
-                           << 8) |
-                              inst.dest.index);
-            h = fnv1aStep(h,
-                          (std::uint64_t(std::uint8_t(inst.src1.cls))
-                           << 8) |
-                              inst.src1.index);
-            h = fnv1aStep(h,
-                          (std::uint64_t(std::uint8_t(inst.src2.cls))
-                           << 8) |
-                              inst.src2.index);
-            h = fnv1aStep(h, static_cast<std::uint64_t>(inst.imm));
-            h = fnv1aStep(h, static_cast<std::uint64_t>(
-                                 std::int64_t(inst.target)));
-        }
-    }
-    // The initial data image, in address order (the source map is
-    // unordered, which must not leak into the digest).
-    const std::map<Addr, std::uint64_t> words(
-        program.initialWords().begin(), program.initialWords().end());
-    for (const auto &[addr, value] : words) {
-        h = fnv1aStep(h, addr);
-        h = fnv1aStep(h, value);
-    }
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(h));
-    return buf;
+    return drsim::programDigest(program); // workloads/digest.hh
 }
 
 std::string
@@ -145,12 +90,17 @@ pointKeyText(const PointKey &key, const std::string &rev)
        << int(c.collectOccupancyHistograms) << "\n"
        << "sampling_interval=" << c.sampling.interval << "\n"
        << "sampling_window=" << c.sampling.window << "\n"
-       << "sampling_warmup=" << c.sampling.warmup << "\n";
+       << "sampling_warmup=" << c.sampling.warmup << "\n"
+       << "sampling_warmff=" << c.sampling.warmff << "\n";
     return os.str();
 }
 
-PointCache::PointCache(std::string dir, std::string rev)
-    : dir_(std::move(dir)), rev_(std::move(rev))
+PointCache::PointCache(std::string dir, std::string rev,
+                       std::uint64_t max_bytes)
+    : dir_(std::move(dir)), rev_(std::move(rev)),
+      maxBytes_(max_bytes == ~std::uint64_t{0}
+                    ? envU64("DRSIM_CACHE_MAX_BYTES", 0)
+                    : max_bytes)
 {
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
@@ -207,6 +157,8 @@ PointCache::load(const PointKey &key)
             return corrupt("key text mismatch (hash collision or "
                            "stale generator)");
         SimResult result = parsePointRecord(doc.at("result"));
+        if (maxBytes_ != 0)
+            touchFile(path); // mark recently-used for the LRU cap
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.hits;
         return result;
@@ -260,8 +212,11 @@ PointCache::store(const PointKey &key, const SimResult &result)
         fatal("cannot publish cache entry '", path,
               "': ", ec.message());
     }
+    const std::uint64_t evicted =
+        maxBytes_ != 0 ? enforceDirByteCap(dir_, maxBytes_) : 0;
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.stores;
+    stats_.evicted += evicted;
 }
 
 PointCache::Stats

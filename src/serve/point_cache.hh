@@ -89,12 +89,23 @@ std::string fnv1aHex(const std::string &text);
 class PointCache
 {
   public:
-    /** Open (and lazily create) the cache rooted at @p dir. */
+    /**
+     * Open (and lazily create) the cache rooted at @p dir.
+     * @p max_bytes caps the cache's on-disk footprint: after every
+     * store, least-recently-used entries (mtime order; loads touch
+     * their entry) are evicted until the directory fits.  The default
+     * of ~0 defers to DRSIM_CACHE_MAX_BYTES, with 0 (also the
+     * variable's default) meaning unbounded.
+     */
     explicit PointCache(std::string dir,
-                        std::string rev = pointCacheRev());
+                        std::string rev = pointCacheRev(),
+                        std::uint64_t max_bytes = ~std::uint64_t{0});
 
     const std::string &dir() const { return dir_; }
     const std::string &rev() const { return rev_; }
+
+    /** Effective byte cap (0 = unbounded). */
+    std::uint64_t maxBytes() const { return maxBytes_; }
 
     /** Envelope file path for @p key (exists or not). */
     std::string entryPath(const PointKey &key) const;
@@ -117,6 +128,8 @@ class PointCache
         std::uint64_t misses = 0;
         std::uint64_t corrupt = 0;
         std::uint64_t stores = 0;
+        /** Entries removed by the LRU byte cap (common/disk_lru.hh). */
+        std::uint64_t evicted = 0;
     };
     Stats stats() const;
 
@@ -125,6 +138,7 @@ class PointCache
 
     std::string dir_;
     std::string rev_;
+    std::uint64_t maxBytes_ = 0;
     mutable std::mutex mutex_;
     Stats stats_;
 };

@@ -22,6 +22,7 @@
 #include "exp/registry.hh"
 #include "exp/spec_file.hh"
 #include "serve/result_io.hh"
+#include "sim/ckpt_store.hh"
 #include "sim/runner.hh"
 
 namespace drsim {
@@ -390,7 +391,17 @@ Server::handleStats(int fd)
     out += u64Field("cache_hits", c.hits) + ",";
     out += u64Field("cache_misses", c.misses) + ",";
     out += u64Field("cache_corrupt", c.corrupt) + ",";
-    out += u64Field("cache_stores", c.stores);
+    out += u64Field("cache_stores", c.stores) + ",";
+    out += u64Field("cache_evicted", c.evicted) + ",";
+    const CkptStore::Stats k = ckptLibrary().stats();
+    out += u64Field("ckpt_hits", k.hits) + ",";
+    out += u64Field("ckpt_misses", k.misses) + ",";
+    out += u64Field("ckpt_corrupt", k.corrupt) + ",";
+    out += u64Field("ckpt_stores", k.stores) + ",";
+    out += u64Field("ckpt_evicted", k.evicted) + ",";
+    out += u64Field("ckpt_generated", k.generated) + ",";
+    out += u64Field("ckpt_coalesced", k.coalesced) + ",";
+    out += u64Field("ckpt_memory_hits", k.memoryHits);
     out += "}";
     sendLine(fd, out);
 }
@@ -444,7 +455,7 @@ Server::handleRun(int fd, std::uint64_t connId,
         for (const auto &[key, value] : v->members()) {
             (void)value;
             if (key != "interval" && key != "window" &&
-                key != "warmup") {
+                key != "warmup" && key != "warmff") {
                 sendError(fd, id, "bad-request",
                           "unknown sampling key '" + key + "'");
                 return;
@@ -454,6 +465,8 @@ Server::handleRun(int fd, std::uint64_t connId,
         sc.interval = v->at("interval").asU64();
         sc.window = v->at("window").asU64();
         sc.warmup = v->at("warmup").asU64();
+        if (const json::Value *w = v->find("warmff"))
+            sc.warmff = w->asU64();
         if (sc.interval == 0 || sc.window == 0 ||
             sc.interval <= sc.warmup + sc.window) {
             sendError(fd, id, "bad-request",

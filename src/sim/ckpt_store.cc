@@ -1,0 +1,678 @@
+#include "sim/ckpt_store.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/disk_lru.hh"
+#include "common/env.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "core/config.hh"
+#include "workloads/digest.hh"
+#include "workloads/program.hh"
+
+namespace drsim {
+
+namespace {
+
+/** Bump when the snapshot format or boundary placement changes. */
+constexpr const char *kBuiltinCkptRev = "ckpt-v2";
+
+/** Leading magic of every snapshot file. */
+constexpr char kStateMagic[8] = {'D', 'R', 'S', 'I',
+                                 'M', 'C', 'K', '1'};
+
+/**
+ * The jittered gap sequence between detailed phases.  This is the
+ * PR 7 sampling driver's LCG, hoisted here so boundary placement is
+ * owned by the checkpoint library: the sampling driver derives its
+ * fast-forward lengths *from* the stored positions, which keeps the
+ * serial, window-parallel, and checkpoint-warm paths on byte-identical
+ * plans by construction.  Jittering each gap uniformly over
+ * [ff_len/2, 3*ff_len/2) breaks the aliasing between fixed-stride
+ * windows and periodic kernels while preserving the mean sampling
+ * rate; the constant seed keeps a given (program, plan) deterministic.
+ */
+class GapSequence
+{
+  public:
+    explicit GapSequence(const CkptKey &key)
+        : ffLen_(key.interval - key.warmup - key.window)
+    {
+    }
+
+    std::uint64_t
+    next()
+    {
+        lcg_ = lcg_ * 6364136223846793005ull + 1442695040888963407ull;
+        const std::uint64_t span = std::max<std::uint64_t>(ffLen_, 1);
+        return ffLen_ / 2 + (lcg_ >> 33) % span;
+    }
+
+  private:
+    std::uint64_t ffLen_;
+    std::uint64_t lcg_ = 0x9e3779b97f4a7c15ull;
+};
+
+void
+putU64(std::ostream &out, std::uint64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putI32(std::ostream &out, std::int32_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+bool
+getU64(std::istream &in, std::uint64_t &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return bool(in);
+}
+
+bool
+getI32(std::istream &in, std::int32_t &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return bool(in);
+}
+
+} // namespace
+
+std::string
+ckptRev()
+{
+    const char *env = std::getenv("DRSIM_CKPT_REV");
+    if (env != nullptr && env[0] != '\0')
+        return env;
+    return kBuiltinCkptRev;
+}
+
+std::string
+ckptKeyText(const CkptKey &key, const std::string &rev)
+{
+    std::ostringstream os;
+    os << "drsim-ckpt-v1\n"
+       << "rev=" << rev << "\n"
+       << "workload=" << key.workload << "\n"
+       << "program_digest=" << key.digest << "\n"
+       << "interval=" << key.interval << "\n"
+       << "window=" << key.window << "\n"
+       << "warmup=" << key.warmup << "\n"
+       << "warmff=" << key.warmff << "\n";
+    return os.str();
+}
+
+CkptKey
+ckptKeyFor(const std::string &workload, const Program &program,
+           const SamplingConfig &sampling)
+{
+    CkptKey key;
+    key.workload = workload;
+    key.digest = programDigest(program);
+    key.interval = sampling.interval;
+    key.window = sampling.window;
+    key.warmup = sampling.warmup;
+    key.warmff = sampling.warmff;
+    return key;
+}
+
+const EmuArchState *
+SampleCkpts::stateAt(std::uint64_t pos) const
+{
+    const auto it =
+        std::lower_bound(positions.begin(), positions.end(), pos);
+    if (it == positions.end() || *it != pos)
+        return nullptr;
+    return &states[std::size_t(it - positions.begin())];
+}
+
+CkptStore::CkptStore(std::string dir, std::string rev,
+                     std::uint64_t max_bytes)
+    : dir_(std::move(dir)), rev_(std::move(rev)),
+      maxBytes_(max_bytes == ~std::uint64_t{0}
+                    ? envU64("DRSIM_CKPT_MAX_BYTES", 0)
+                    : max_bytes)
+{
+    if (dir_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        fatal("cannot create checkpoint directory '", dir_,
+              "': ", ec.message());
+    }
+}
+
+std::string
+CkptStore::pathFor(const std::string &hash,
+                   const std::string &suffix) const
+{
+    if (dir_.empty())
+        return "";
+    return dir_ + "/" + hash.substr(0, 2) + "/" + hash + suffix;
+}
+
+std::string
+CkptStore::metaPath(const CkptKey &key) const
+{
+    return pathFor(fnv1aHex(ckptKeyText(key, rev_)), ".json");
+}
+
+std::string
+CkptStore::statePath(const CkptKey &key, std::uint64_t pos) const
+{
+    return pathFor(fnv1aHex(ckptKeyText(key, rev_)),
+                   ".p" + std::to_string(pos) + ".bin");
+}
+
+void
+CkptStore::countCorrupt(const std::string &path,
+                        const std::string &why)
+{
+    warn("checkpoint ", path, " is unusable (", why,
+         "); regenerating");
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corrupt;
+}
+
+bool
+CkptStore::loadMeta(const std::string &key_text,
+                    const std::string &hash, SampleCkpts &plan)
+{
+    const std::string path = pathFor(hash, ".json");
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        const json::Value doc = json::parse(text.str());
+        if (!doc.isObject() || doc.at("drsim_ckpt").asU64() != 1) {
+            countCorrupt(path, "not a v1 checkpoint meta");
+            return false;
+        }
+        if (doc.at("key").asString() != key_text) {
+            countCorrupt(path, "key text mismatch (hash collision "
+                               "or stale generator)");
+            return false;
+        }
+        plan.archLength = doc.at("arch_length").asU64();
+        plan.positions.clear();
+        for (const json::Value &p : doc.at("positions").items())
+            plan.positions.push_back(p.asU64());
+        if (plan.positions.empty() ||
+            plan.positions.back() != plan.archLength ||
+            !std::is_sorted(plan.positions.begin(),
+                            plan.positions.end()) ||
+            std::adjacent_find(plan.positions.begin(),
+                               plan.positions.end()) !=
+                plan.positions.end()) {
+            countCorrupt(path, "inconsistent position list");
+            return false;
+        }
+        plan.detailStarts.clear();
+        for (const json::Value &p : doc.at("detail_starts").items())
+            plan.detailStarts.push_back(p.asU64());
+        const std::size_t np = plan.positions.size();
+        const std::size_t nd = plan.detailStarts.size();
+        bool ds_ok =
+            nd == np - 1 ||
+            (nd == np &&
+             plan.detailStarts.back() == plan.positions.back());
+        for (std::size_t i = 0; ds_ok && i < nd; ++i) {
+            ds_ok = plan.detailStarts[i] >= plan.positions[i] &&
+                    plan.detailStarts[i] <= plan.archLength &&
+                    (i == 0 || plan.detailStarts[i] >
+                                   plan.detailStarts[i - 1]);
+        }
+        if (!ds_ok) {
+            countCorrupt(path, "inconsistent detail-start list");
+            return false;
+        }
+        if (maxBytes_ != 0)
+            touchFile(path);
+        return true;
+    } catch (const FatalError &e) {
+        countCorrupt(path, e.what());
+        return false;
+    }
+}
+
+bool
+CkptStore::loadState(const std::string &hash, std::uint64_t pos,
+                     EmuArchState &state)
+{
+    const std::string path =
+        pathFor(hash, ".p" + std::to_string(pos) + ".bin");
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+
+    const auto corrupt = [&](const char *why) {
+        countCorrupt(path, why);
+        return false;
+    };
+
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || !std::equal(magic, magic + 8, kStateMagic))
+        return corrupt("bad magic");
+
+    std::uint64_t key_hash = 0, position = 0;
+    if (!getU64(in, key_hash) || !getU64(in, position))
+        return corrupt("truncated header");
+    if (key_hash != std::stoull(hash, nullptr, 16) ||
+        position != pos)
+        return corrupt("header mismatch");
+
+    std::int32_t block = 0, offset = 0;
+    std::uint64_t steps = 0, data_limit = 0;
+    if (!getI32(in, block) || !getI32(in, offset) ||
+        !getU64(in, steps) || !getU64(in, data_limit))
+        return corrupt("truncated header");
+    state.loc.block = block;
+    state.loc.offset = offset;
+    state.steps = steps;
+    state.dataLimit = data_limit;
+
+    for (std::uint64_t &r : state.intRegs) {
+        if (!getU64(in, r))
+            return corrupt("truncated registers");
+    }
+    for (double &r : state.fpRegs) {
+        std::uint64_t bits = 0;
+        if (!getU64(in, bits))
+            return corrupt("truncated registers");
+        r = std::bit_cast<double>(bits);
+    }
+
+    std::uint64_t data_words = 0;
+    if (!getU64(in, data_words) || data_words > (1ull << 32))
+        return corrupt("truncated data segment");
+    state.data.resize(std::size_t(data_words));
+    for (std::uint64_t &w : state.data) {
+        if (!getU64(in, w))
+            return corrupt("truncated data segment");
+    }
+
+    std::uint64_t mem_count = 0;
+    if (!getU64(in, mem_count) || mem_count > (1ull << 32))
+        return corrupt("truncated sparse memory");
+    state.mem.clear();
+    for (std::uint64_t i = 0; i < mem_count; ++i) {
+        std::uint64_t addr = 0, word = 0;
+        if (!getU64(in, addr) || !getU64(in, word))
+            return corrupt("truncated sparse memory");
+        state.mem.emplace(addr, word);
+    }
+
+    std::uint64_t stored_hash = 0;
+    if (!getU64(in, stored_hash))
+        return corrupt("missing state hash");
+    if (in.peek() != std::ifstream::traits_type::eof())
+        return corrupt("trailing bytes");
+    if (stored_hash != archStateHash(state) || state.steps != pos)
+        return corrupt("state hash mismatch");
+
+    if (maxBytes_ != 0)
+        touchFile(path);
+    return true;
+}
+
+void
+CkptStore::storeMeta(const std::string &key_text,
+                     const std::string &hash,
+                     const SampleCkpts &plan)
+{
+    const std::string path = pathFor(hash, ".json");
+    std::error_code ec;
+    std::filesystem::create_directories(
+        dir_ + "/" + hash.substr(0, 2), ec);
+    if (ec) {
+        warn("cannot create checkpoint fan-out directory for '",
+             path, "': ", ec.message());
+        return;
+    }
+
+    std::string doc = "{\"drsim_ckpt\":1,\"computed_at_rev\":\"";
+    doc += json::escape(rev_);
+    doc += "\",\"key_hash\":\"" + hash + "\",\"key\":\"";
+    doc += json::escape(key_text);
+    doc += "\",\"arch_length\":" + std::to_string(plan.archLength);
+    doc += ",\"positions\":[";
+    for (std::size_t i = 0; i < plan.positions.size(); ++i) {
+        if (i != 0)
+            doc += ",";
+        doc += std::to_string(plan.positions[i]);
+    }
+    doc += "],\"detail_starts\":[";
+    for (std::size_t i = 0; i < plan.detailStarts.size(); ++i) {
+        if (i != 0)
+            doc += ",";
+        doc += std::to_string(plan.detailStarts[i]);
+    }
+    doc += "]}\n";
+
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(counter.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("cannot open checkpoint temp file '", tmp, "'");
+            return;
+        }
+        out << doc;
+        out.flush();
+        if (!out) {
+            warn("failed writing checkpoint temp file '", tmp, "'");
+            return;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        warn("cannot publish checkpoint meta '", path,
+             "': ", ec.message());
+    }
+}
+
+void
+CkptStore::storeState(const std::string &hash, std::uint64_t pos,
+                      const EmuArchState &state)
+{
+    const std::string path =
+        pathFor(hash, ".p" + std::to_string(pos) + ".bin");
+    std::error_code ec;
+    std::filesystem::create_directories(
+        dir_ + "/" + hash.substr(0, 2), ec);
+    if (ec) {
+        warn("cannot create checkpoint fan-out directory for '",
+             path, "': ", ec.message());
+        return;
+    }
+
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(counter.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("cannot open checkpoint temp file '", tmp, "'");
+            return;
+        }
+        out.write(kStateMagic, sizeof(kStateMagic));
+        putU64(out, std::stoull(hash, nullptr, 16));
+        putU64(out, pos);
+        putI32(out, state.loc.block);
+        putI32(out, state.loc.offset);
+        putU64(out, state.steps);
+        putU64(out, state.dataLimit);
+        for (std::uint64_t r : state.intRegs)
+            putU64(out, r);
+        for (double r : state.fpRegs)
+            putU64(out, std::bit_cast<std::uint64_t>(r));
+        putU64(out, state.data.size());
+        for (std::uint64_t w : state.data)
+            putU64(out, w);
+        // Sorted so racing writers publish identical bytes.
+        std::vector<std::pair<Addr, std::uint64_t>> mem(
+            state.mem.begin(), state.mem.end());
+        std::sort(mem.begin(), mem.end());
+        putU64(out, mem.size());
+        for (const auto &[addr, word] : mem) {
+            putU64(out, addr);
+            putU64(out, word);
+        }
+        putU64(out, archStateHash(state));
+        out.flush();
+        if (!out) {
+            warn("failed writing checkpoint temp file '", tmp, "'");
+            return;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        warn("cannot publish checkpoint '", path,
+             "': ", ec.message());
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.stores;
+}
+
+/**
+ * Generate the full plan from reset: fast-forward one period
+ * (warmup + window, then the jittered gap) at a time, snapshotting at
+ * every warm-start boundary, until the emulator stops at the
+ * program's architectural end.  The final snapshot always sits at
+ * archLength — it is the restore point for the detailed tail that
+ * commits the Halt.
+ */
+SampleCkpts
+generateSampleCkpts(const CkptKey &key, const Program &program)
+{
+    SampleCkpts plan;
+    Emulator emu(program);
+    GapSequence gaps(key);
+    std::uint64_t pos = 0;
+    const auto finish = [&]() -> SampleCkpts {
+        // Halt (or a blocked fetch) is at pos: this is the
+        // architectural end.  Dedupe against a warm-start boundary
+        // that landed exactly there.
+        if (plan.positions.empty() || plan.positions.back() != pos) {
+            plan.positions.push_back(pos);
+            plan.states.push_back(emu.saveArchState());
+        }
+        plan.archLength = pos;
+        return std::move(plan);
+    };
+    while (true) {
+        // This period's detailed phase (warm-up + window).
+        const std::uint64_t detail = key.warmup + key.window;
+        std::uint64_t stepped = emu.fastForward(detail);
+        pos += stepped;
+        if (stepped < detail)
+            return finish();
+
+        // The gap: skip to the warm start, snapshot, then advance
+        // the replay stretch to the detail start.  The checkpoint is
+        // published only once the detail start is reached, so a halt
+        // mid-gap or mid-replay never leaves a checkpoint whose
+        // window could not run.
+        const std::uint64_t gap = gaps.next();
+        const std::uint64_t replay =
+            key.warmff == 0 ? gap : std::min(key.warmff, gap);
+        stepped = emu.fastForward(gap - replay);
+        pos += stepped;
+        if (stepped < gap - replay)
+            return finish();
+        EmuArchState warm_start = emu.saveArchState();
+        const std::uint64_t warm_pos = pos;
+        stepped = emu.fastForward(replay);
+        pos += stepped;
+        if (stepped < replay)
+            return finish();
+        plan.positions.push_back(warm_pos);
+        plan.states.push_back(std::move(warm_start));
+        plan.detailStarts.push_back(pos);
+    }
+}
+
+std::shared_ptr<const SampleCkpts>
+CkptStore::buildPlan(const CkptKey &key, const Program &program,
+                     AcquireOutcome &out)
+{
+    const std::string key_text = ckptKeyText(key, rev_);
+    const std::string hash = fnv1aHex(key_text);
+    auto plan = std::make_shared<SampleCkpts>();
+
+    bool have_meta =
+        !dir_.empty() && loadMeta(key_text, hash, *plan);
+    if (have_meta) {
+        // Load each snapshot; regenerate any miss by fast-forwarding
+        // from the nearest earlier good state (or reset).
+        std::unique_ptr<Emulator> emu;
+        for (std::uint64_t pos : plan->positions) {
+            EmuArchState state;
+            if (loadState(hash, pos, state)) {
+                plan->states.push_back(std::move(state));
+                ++out.diskHits;
+                continue;
+            }
+            if (!emu)
+                emu = std::make_unique<Emulator>(program);
+            if (!plan->states.empty() &&
+                plan->states.back().steps > emu->stepsExecuted())
+                emu->restoreArchState(plan->states.back());
+            const std::uint64_t cur = emu->stepsExecuted();
+            if (cur > pos ||
+                emu->fastForward(pos - cur) != pos - cur) {
+                // The meta's positions disagree with the program
+                // (stale digest collision, hand-edited file): the
+                // whole entry is untrustworthy.
+                countCorrupt(pathFor(hash, ".json"),
+                             "positions unreachable by emulation");
+                have_meta = false;
+                break;
+            }
+            plan->states.push_back(emu->saveArchState());
+            ++out.generated;
+            if (!dir_.empty())
+                storeState(hash, pos, plan->states.back());
+        }
+    }
+
+    if (!have_meta) {
+        out.diskHits = 0;
+        *plan = generateSampleCkpts(key, program);
+        out.generated = plan->states.size();
+        if (!dir_.empty()) {
+            for (std::size_t i = 0; i < plan->positions.size(); ++i)
+                storeState(hash, plan->positions[i],
+                           plan->states[i]);
+            storeMeta(key_text, hash, *plan);
+        }
+    }
+
+    std::uint64_t evicted = 0;
+    if (!dir_.empty() && maxBytes_ != 0 && out.generated != 0)
+        evicted = enforceDirByteCap(dir_, maxBytes_);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.hits += out.diskHits;
+    stats_.misses += out.generated;
+    stats_.evicted += evicted;
+    if (out.generated != 0)
+        ++stats_.generated;
+    return plan;
+}
+
+CkptStore::AcquireOutcome
+CkptStore::acquire(const CkptKey &key, const Program &program)
+{
+    const std::string key_text = ckptKeyText(key, rev_);
+    AcquireOutcome out;
+
+    std::shared_ptr<Entry> entry;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (true) {
+            auto it = entries_.find(key_text);
+            if (it == entries_.end()) {
+                entry = std::make_shared<Entry>();
+                entry->generating = true;
+                entries_.emplace(key_text, entry);
+                break;
+            }
+            entry = it->second;
+            if (entry->ready) {
+                if (entry->error)
+                    std::rethrow_exception(entry->error);
+                ++stats_.memoryHits;
+                out.plan = entry->plan;
+                out.fromMemory = true;
+                return out;
+            }
+            // Someone else is generating this key: wait and share.
+            ++stats_.coalesced;
+            out.coalesced = true;
+            ready_.wait(lock, [&] { return entry->ready; });
+            if (entry->error)
+                std::rethrow_exception(entry->error);
+            ++stats_.memoryHits;
+            out.plan = entry->plan;
+            out.fromMemory = true;
+            return out;
+        }
+    }
+
+    try {
+        out.plan = buildPlan(key, program, out);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entry->error = std::current_exception();
+        entry->ready = true;
+        // Drop the poisoned entry so a later acquire retries; the
+        // waiters coalesced onto this attempt still see the error
+        // through their shared_ptr.
+        entries_.erase(key_text);
+        ready_.notify_all();
+        throw;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry->plan = out.plan;
+    entry->ready = true;
+    ready_.notify_all();
+    return out;
+}
+
+CkptStore::Stats
+CkptStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+CkptStore &
+ckptLibrary()
+{
+    static std::mutex mutex;
+    static std::unique_ptr<CkptStore> store;
+    static std::string signature;
+
+    const char *dir_env = std::getenv("DRSIM_CKPT_DIR");
+    const std::string dir = dir_env != nullptr ? dir_env : "";
+    const std::string rev = ckptRev();
+    const std::uint64_t max_bytes = envU64("DRSIM_CKPT_MAX_BYTES", 0);
+    const std::string sig = dir + "\x1f" + rev + "\x1f" +
+                            std::to_string(max_bytes);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!store || signature != sig) {
+        // Rebuilding drops the in-memory tier; tests flip the env
+        // between runs to force cold/warm paths.  Changing it while
+        // simulations are in flight is unsupported.
+        store = std::make_unique<CkptStore>(dir, rev, max_bytes);
+        signature = sig;
+    }
+    return *store;
+}
+
+} // namespace drsim

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The content-addressed checkpoint library (DESIGN.md §5j).
+ *
+ * Architectural fast-forward is config-independent: every sweep point
+ * of a (workload, sampling plan) pair replays the *identical*
+ * functional emulation before each measured window.  The library
+ * computes that emulation once, snapshots the EmuArchState at every
+ * interval boundary (the start of each period's detailed phase, plus
+ * the architectural end of the program), and serves the snapshots to
+ * every subsequent sampled run of the same key — across configs,
+ * across budgets, across threads, and (with DRSIM_CKPT_DIR set)
+ * across processes.
+ *
+ * Keys deliberately exclude every CoreConfig field: the snapshots are
+ * purely architectural, so two different machine configurations of
+ * the same workload and sampling spec share entries.  Functional
+ * warming preserves that independence: the snapshots sit at each
+ * window's *warm-start* position (detail start minus the replay
+ * horizon), and every sweep point replays the same architectural
+ * stream into its own caches and branch predictor at restore time.
+ * A key is
+ *
+ *     (library rev, workload name, programDigest, interval, window,
+ *      warmup, warmff)
+ *
+ * canonicalized to text and FNV-1a hashed, exactly like the sweep
+ * point cache (serve/point_cache) this store is modeled on.
+ *
+ * On-disk layout under DRSIM_CKPT_DIR:
+ *
+ *     <dir>/<hh>/<hash>.json           meta: key text, arch length,
+ *                                      checkpointed positions and
+ *                                      detail starts
+ *     <dir>/<hh>/<hash>.p<pos>.bin     one EmuArchState per position
+ *
+ * Every file is written to a unique temp name and atomically renamed;
+ * every .bin carries the snapshot's archStateHash() and is validated
+ * on load.  A corrupt or missing entry is recomputed by
+ * fast-forwarding from the nearest earlier good checkpoint (or from
+ * reset) and re-stored — corruption can cost time, never correctness.
+ * DRSIM_CKPT_MAX_BYTES applies the shared LRU eviction policy
+ * (common/disk_lru.hh) after stores.
+ *
+ * The in-memory tier coalesces concurrent generation: when several
+ * sweep points of one workload arrive together (the serve daemon's
+ * thread pool), exactly one generates while the rest wait and share
+ * the resulting plan.
+ */
+
+#ifndef DRSIM_SIM_CKPT_STORE_HH
+#define DRSIM_SIM_CKPT_STORE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "workloads/emulator.hh"
+
+namespace drsim {
+
+class Program;
+struct SamplingConfig;
+
+/**
+ * Checkpoint library code version, folded into every key.  Bump when
+ * the snapshot format or the interval-boundary placement changes;
+ * DRSIM_CKPT_REV overrides it (invalidation tests, operators pinning
+ * a library).
+ */
+std::string ckptRev();
+
+/** The inputs identifying one checkpointed sampling plan. */
+struct CkptKey
+{
+    /** Workload name (provenance only; the digest is authoritative). */
+    std::string workload;
+    /** programDigest() of the built program (workloads/digest.hh). */
+    std::string digest;
+    /** The sampling stride plan (SamplingConfig fields). */
+    std::uint64_t interval = 0;
+    std::uint64_t window = 0;
+    std::uint64_t warmup = 0;
+    /** Functional-warming horizon (0 = the whole gap); part of the
+     *  key because it moves the warm-start snapshot positions. */
+    std::uint64_t warmff = 0;
+};
+
+/** Canonical key text for @p key at library version @p rev. */
+std::string ckptKeyText(const CkptKey &key, const std::string &rev);
+
+struct SampleCkpts;
+
+/**
+ * Generate the full plan for @p key from scratch, with no caching:
+ * the store's generation backend, and (called directly) the
+ * library-disabled baseline path of bench/simspeed.
+ */
+SampleCkpts generateSampleCkpts(const CkptKey &key,
+                                const Program &program);
+
+/**
+ * The checkpointed sampling plan for one key: the program's
+ * architectural length and a snapshot at the *warm-start* position of
+ * every detailed phase after the first (position 0 needs no snapshot —
+ * it is reset state), plus one at the architectural end (the tail
+ * task's restore point).  The warm start precedes the detailed phase
+ * by the functional-warming horizon — min(warmff, gap), the whole gap
+ * when warmff is 0 — so a restored window replays that stretch into
+ * the configuration's caches and branch predictor before timing
+ * begins.  Positions are deterministic functions of the sampling spec
+ * and the program alone — budget- and config-independent — which is
+ * what makes the entries reusable across a whole sweep.
+ */
+struct SampleCkpts
+{
+    /** Instructions before the Halt (committing it makes the full-run
+     *  committed count archLength + 1). */
+    std::uint64_t archLength = 0;
+    /** Ascending checkpointed (warm-start) positions; the last equals
+     *  archLength. */
+    std::vector<std::uint64_t> positions;
+    /** Snapshot at positions[i]. */
+    std::vector<EmuArchState> states;
+    /**
+     * Detail-start position of the window restored from positions[i]
+     * (>= positions[i]; the difference is the warming replay).  One
+     * entry per interior checkpoint: detailStarts.size() is
+     * positions.size() - 1, except when the program halts exactly at
+     * a detail start whose replay is zero — then the final position
+     * doubles as both and the sizes are equal.
+     */
+    std::vector<std::uint64_t> detailStarts;
+
+    /** Snapshot at exactly @p pos, or nullptr if not checkpointed. */
+    const EmuArchState *stateAt(std::uint64_t pos) const;
+};
+
+class CkptStore
+{
+  public:
+    /**
+     * Open a checkpoint store.  An empty @p dir disables the disk
+     * tier (the in-memory tier still amortizes generation within the
+     * process).  @p max_bytes of ~0 defers to DRSIM_CKPT_MAX_BYTES
+     * (0 = unbounded).
+     */
+    explicit CkptStore(std::string dir, std::string rev = ckptRev(),
+                       std::uint64_t max_bytes = ~std::uint64_t{0});
+
+    const std::string &dir() const { return dir_; }
+    const std::string &rev() const { return rev_; }
+
+    /** Meta-file path for @p key ("" when the disk tier is off). */
+    std::string metaPath(const CkptKey &key) const;
+    /** Snapshot-file path for @p key at @p pos ("" when disk off). */
+    std::string statePath(const CkptKey &key,
+                          std::uint64_t pos) const;
+
+    /** Provenance of one acquire() (phase-timing telemetry). */
+    struct AcquireOutcome
+    {
+        std::shared_ptr<const SampleCkpts> plan;
+        /** Snapshots loaded (and hash-validated) from disk. */
+        std::uint64_t diskHits = 0;
+        /** Snapshots produced by functional emulation. */
+        std::uint64_t generated = 0;
+        /** Whole plan was already resident in memory. */
+        bool fromMemory = false;
+        /** Waited for a concurrent generation of the same key. */
+        bool coalesced = false;
+    };
+
+    /**
+     * Return the checkpointed plan for @p key, generating it (once,
+     * coalesced across concurrent callers) if neither tier has it.
+     * @p program must be the program @p key.digest was computed from.
+     */
+    AcquireOutcome acquire(const CkptKey &key, const Program &program);
+
+    struct Stats
+    {
+        /** Snapshots served from disk (hash-validated). */
+        std::uint64_t hits = 0;
+        /** Snapshots that had to be generated by emulation. */
+        std::uint64_t misses = 0;
+        /** Snapshot/meta files rejected by validation. */
+        std::uint64_t corrupt = 0;
+        /** Snapshot files written. */
+        std::uint64_t stores = 0;
+        /** Files removed by the LRU byte cap. */
+        std::uint64_t evicted = 0;
+        /** Keys generated (fully or partially) by emulation. */
+        std::uint64_t generated = 0;
+        /** acquire() calls that waited on a concurrent generation. */
+        std::uint64_t coalesced = 0;
+        /** acquire() calls served from the in-memory tier. */
+        std::uint64_t memoryHits = 0;
+    };
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        bool ready = false;
+        bool generating = false;
+        std::shared_ptr<const SampleCkpts> plan;
+        std::exception_ptr error;
+    };
+
+    std::shared_ptr<const SampleCkpts>
+    buildPlan(const CkptKey &key, const Program &program,
+              AcquireOutcome &out);
+    bool loadMeta(const std::string &key_text,
+                  const std::string &hash, SampleCkpts &plan);
+    bool loadState(const std::string &hash, std::uint64_t pos,
+                   EmuArchState &state);
+    void storeMeta(const std::string &key_text,
+                   const std::string &hash, const SampleCkpts &plan);
+    void storeState(const std::string &hash, std::uint64_t pos,
+                    const EmuArchState &state);
+    std::string pathFor(const std::string &hash,
+                        const std::string &suffix) const;
+    void countCorrupt(const std::string &path,
+                      const std::string &why);
+
+    std::string dir_;
+    std::string rev_;
+    std::uint64_t maxBytes_ = 0;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::map<std::string, std::shared_ptr<Entry>> entries_;
+    Stats stats_;
+};
+
+/**
+ * The process-global checkpoint library the sampling driver uses,
+ * configured from DRSIM_CKPT_DIR / DRSIM_CKPT_MAX_BYTES /
+ * DRSIM_CKPT_REV.  The instance is rebuilt (dropping the in-memory
+ * tier) when those variables change between calls — tests use this to
+ * flip between cold and warm; changing them while simulations are in
+ * flight is unsupported.
+ */
+CkptStore &ckptLibrary();
+
+/** Build the key for @p program under @p sampling. */
+CkptKey ckptKeyFor(const std::string &workload,
+                   const Program &program,
+                   const SamplingConfig &sampling);
+
+} // namespace drsim
+
+#endif // DRSIM_SIM_CKPT_STORE_HH

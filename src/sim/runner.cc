@@ -292,6 +292,8 @@ emitExperiment(JsonOut &j, const ExperimentResult &res, int in)
         j.key(in + 6, "window"); j.number(cfg.sampling.window);
         j.raw(",\n");
         j.key(in + 6, "warmup"); j.number(cfg.sampling.warmup);
+        j.raw(",\n");
+        j.key(in + 6, "warmff"); j.number(cfg.sampling.warmff);
         j.raw("\n");
         j.pad(in + 4); j.raw("}");
     }
@@ -420,6 +422,18 @@ emitSpeedLeg(JsonOut &j, std::uint64_t committed, double seconds,
     j.pad(in); j.raw("}");
 }
 
+void
+emitPhaseSeconds(JsonOut &j, const SampledPhaseSeconds &p, int in)
+{
+    j.raw("{\n");
+    j.key(in + 2, "seconds"); j.number(p.total); j.raw(",\n");
+    j.key(in + 2, "acquire_seconds"); j.number(p.acquire);
+    j.raw(",\n");
+    j.key(in + 2, "warmup_seconds"); j.number(p.warmup); j.raw(",\n");
+    j.key(in + 2, "window_seconds"); j.number(p.window); j.raw("\n");
+    j.pad(in); j.raw("}");
+}
+
 } // namespace
 
 std::string
@@ -508,6 +522,7 @@ simspeedJson(const SpeedRunInfo &info,
         j.key(4, "interval"); j.number(sp.interval); j.raw(",\n");
         j.key(4, "window"); j.number(sp.window); j.raw(",\n");
         j.key(4, "warmup"); j.number(sp.warmup); j.raw(",\n");
+        j.key(4, "warmff"); j.number(sp.warmff); j.raw(",\n");
         j.key(4, "workloads"); j.raw("[\n");
         for (std::size_t i = 0; i < sp.samples.size(); ++i) {
             const SampledSpeedSample &s = sp.samples[i];
@@ -543,6 +558,52 @@ simspeedJson(const SpeedRunInfo &info,
         j.number(clampSeconds(full_s) / clampSeconds(sampled_s));
         j.raw(",\n");
         j.key(6, "all_ci_cover"); j.boolean(all_cover); j.raw("\n");
+        j.pad(4); j.raw("}\n");
+        j.pad(2); j.raw("}");
+    }
+
+    if (info.parallelSampled.present) {
+        const ParallelSampled &ps = info.parallelSampled;
+        double base_s = 0.0;
+        double warm_s = 0.0;
+        j.raw(",\n");
+        j.key(2, "parallel_sampled"); j.raw("{\n");
+        j.key(4, "scale"); j.number(std::uint64_t(ps.scale));
+        j.raw(",\n");
+        j.key(4, "interval"); j.number(ps.interval); j.raw(",\n");
+        j.key(4, "window"); j.number(ps.window); j.raw(",\n");
+        j.key(4, "warmup"); j.number(ps.warmup); j.raw(",\n");
+        j.key(4, "warmff"); j.number(ps.warmff); j.raw(",\n");
+        j.key(4, "workloads"); j.raw("[\n");
+        for (std::size_t i = 0; i < ps.samples.size(); ++i) {
+            const ParallelSampledSample &s = ps.samples[i];
+            base_s += s.baseline.total;
+            warm_s += s.warm.total;
+            j.pad(6); j.raw("{\n");
+            j.key(8, "name"); j.string(s.workload); j.raw(",\n");
+            j.key(8, "baseline");
+            emitPhaseSeconds(j, s.baseline, 8); j.raw(",\n");
+            j.key(8, "warm");
+            emitPhaseSeconds(j, s.warm, 8); j.raw(",\n");
+            j.key(8, "ckpt_hits"); j.number(s.ckptHits); j.raw(",\n");
+            j.key(8, "ckpt_generated"); j.number(s.ckptGenerated);
+            j.raw(",\n");
+            j.key(8, "window_jobs"); j.number(s.windowJobs);
+            j.raw(",\n");
+            j.key(8, "speedup");
+            j.number(clampSeconds(s.baseline.total) /
+                     clampSeconds(s.warm.total));
+            j.raw("\n");
+            j.pad(6); j.raw("}");
+            j.raw(i + 1 < ps.samples.size() ? ",\n" : "\n");
+        }
+        j.pad(4); j.raw("],\n");
+        j.key(4, "aggregate"); j.raw("{\n");
+        j.key(6, "baseline_seconds"); j.number(base_s); j.raw(",\n");
+        j.key(6, "warm_seconds"); j.number(warm_s); j.raw(",\n");
+        j.key(6, "speedup");
+        j.number(clampSeconds(base_s) / clampSeconds(warm_s));
+        j.raw("\n");
         j.pad(4); j.raw("}\n");
         j.pad(2); j.raw("}");
     }

@@ -183,7 +183,74 @@ struct SampledSpeed
     std::uint64_t interval = 0;
     std::uint64_t window = 0;
     std::uint64_t warmup = 0;
+    std::uint64_t warmff = 0;
     std::vector<SampledSpeedSample> samples;
+};
+
+/**
+ * Per-phase wall-clock split of one sampled leg (from SampleProfile):
+ * checkpoint acquisition (= the functional fast-forward cost, whether
+ * generated or loaded), gated warm-ups, and measured windows.
+ */
+struct SampledPhaseSeconds
+{
+    double total = 0.0;
+    double acquire = 0.0;
+    double warmup = 0.0;
+    double window = 0.0;
+};
+
+/**
+ * One workload's checkpoint-warm window-parallel sampled run versus
+ * the library-disabled serial-window baseline (the PR 7 sampling cost
+ * model) at the same sweep-realistic sampling spec.  Both legs
+ * produce byte-identical statistics by construction — the benchmark
+ * aborts otherwise — so only wall-clock and checkpoint provenance are
+ * recorded.
+ */
+struct ParallelSampledSample
+{
+    std::string workload;
+    /** Library disabled, windows serial: every run pays the full
+     *  functional fast-forward. */
+    SampledPhaseSeconds baseline;
+    /** Checkpoint-warm, windows fanned out over the pool. */
+    SampledPhaseSeconds warm;
+    /** Snapshots the warm leg loaded / had to generate. */
+    std::uint64_t ckptHits = 0;
+    std::uint64_t ckptGenerated = 0;
+    /** Worker count the warm leg's windows used. */
+    int windowJobs = 1;
+};
+
+/**
+ * The checkpoint-library benchmark block ("parallel_sampled" in the
+ * JSON): the sampled sweep cost with fast-forward amortized into the
+ * checkpoint library and measured windows sharded across the thread
+ * pool.  Runs under its own sweep-realistic spec (DRSIM_PSAMPLE_BENCH
+ * — sparse windows, bounded functional warming: the regime of a 96
+ * point register-file sweep, where the fast-forward dominates each
+ * point).  The aggregate baseline/warm speedup is what the CI gate
+ * tracks (>= 3x over the serial sampled cost at the same spec).
+ */
+struct ParallelSampled
+{
+    bool present = false;
+    /**
+     * DRSIM_SCALE this block's suite was built at (DRSIM_PSAMPLE_SCALE;
+     * independent of the top-level scale).  Sampling amortizes the
+     * functional fast-forward, so its benchmark regime is the *long*
+     * workload — at the tiny top-level bench scale the measured
+     * windows dominate and the ratio degenerates toward 1 regardless
+     * of how well the library amortizes.
+     */
+    int scale = 0;
+    /** The SamplingConfig both legs ran under. */
+    std::uint64_t interval = 0;
+    std::uint64_t window = 0;
+    std::uint64_t warmup = 0;
+    std::uint64_t warmff = 0;
+    std::vector<ParallelSampledSample> samples;
 };
 
 /** Provenance recorded at the top level of BENCH_simspeed.json. */
@@ -197,6 +264,7 @@ struct SpeedRunInfo
     int numPhysRegs = 0;
     SpeedEndToEnd endToEnd;
     SampledSpeed sampled;
+    ParallelSampled parallelSampled;
 };
 
 /**

@@ -1,20 +1,92 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "sim/ckpt_store.hh"
+#include "sim/runner.hh"
 
 namespace drsim {
+
+namespace {
+
+std::mutex &
+execPolicyMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+SamplingExecPolicy &
+execPolicyValue()
+{
+    static SamplingExecPolicy policy;
+    return policy;
+}
+
+} // namespace
+
+void
+setSamplingExecPolicy(const SamplingExecPolicy &policy)
+{
+    std::lock_guard<std::mutex> lock(execPolicyMutex());
+    execPolicyValue() = policy;
+}
+
+SamplingExecPolicy
+samplingExecPolicy()
+{
+    std::lock_guard<std::mutex> lock(execPolicyMutex());
+    return execPolicyValue();
+}
+
+namespace {
+
+/** Successful default-option verification verdicts by program content
+ *  digest.  A sweep calls verifyProgram() once per configuration point
+ *  on the *same* program; the verdict is a pure function of the
+ *  program text, so re-analysis is pure overhead.  Failures are never
+ *  cached — they fatal() out of the process anyway. */
+std::mutex verifiedMutex;
+std::unordered_set<std::string> verifiedDigests;
+
+bool
+cacheableOptions(const analysis::Options &opts)
+{
+    static const analysis::Options defaults;
+    return opts.abiInitializedRegs.empty() &&
+           opts.checkMix == defaults.checkMix &&
+           opts.mixTolerancePct == defaults.mixTolerancePct;
+}
+
+} // namespace
 
 void
 verifyProgram(const Program &program, const analysis::Options &opts)
 {
+    const bool cacheable =
+        cacheableOptions(opts) && !program.contentDigest().empty();
+    if (cacheable) {
+        std::lock_guard<std::mutex> lock(verifiedMutex);
+        if (verifiedDigests.count(program.contentDigest()) != 0)
+            return;
+    }
     const analysis::Report report =
         analysis::analyzeProgram(program, opts);
-    if (!report.hasErrors())
+    if (!report.hasErrors()) {
+        if (cacheable) {
+            std::lock_guard<std::mutex> lock(verifiedMutex);
+            verifiedDigests.insert(program.contentDigest());
+        }
         return;
+    }
     std::ostringstream os;
     for (const analysis::Finding &f : report.findings) {
         if (f.severity == analysis::Severity::Error)
@@ -44,14 +116,216 @@ collect(Processor &proc, const std::string &name, bool fp_intensive)
     return res;
 }
 
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
 /**
- * SMARTS-style systematic sampling (DESIGN.md §5h): per period of
- * `interval` instructions, fast-forward functionally, warm the
- * machine detailed-but-gated, then measure one window's commit IPC.
- * One Processor persists across periods so caches, predictor tables,
- * and the register file carry their state through the fast-forwards;
- * the warm-up only has to re-fill the pipeline-adjacent state the
- * drain perturbed.
+ * One independent detailed phase of a sampled run (DESIGN.md §5j):
+ * restore the checkpoint at @ref start, run a histogram-gated warm-up
+ * of @ref warmTarget, then measure @ref winTarget committed
+ * instructions.  The non-measured variant is the detailed tail that
+ * commits the Halt.
+ */
+struct WindowTask
+{
+    /** Checkpoint position restored into the fresh machine
+     *  (0 = reset state, no snapshot needed). */
+    std::uint64_t restore = 0;
+    /** Functional-warming replay (DESIGN.md §5j) between the restore
+     *  point and the detail start: architecturally executed into the
+     *  config's caches and branch predictor before timing begins. */
+    std::uint64_t replay = 0;
+    std::uint64_t warmTarget = 0;
+    std::uint64_t winTarget = 0;
+    /** Contributes one window-IPC sample to the estimate. */
+    bool measured = true;
+};
+
+/**
+ * The detailed phases of one sampled run, derived from the
+ * checkpoint plan and the instruction budget.  Every budget
+ * truncation is terminal (the plan ends at it), so detailed phases
+ * only ever start at budget-independent checkpoint positions — the
+ * property that lets a whole sweep share one checkpoint set.
+ */
+struct SamplePlan
+{
+    std::vector<WindowTask> tasks;
+    /** Architectural instructions the plan advances over (functional
+     *  gaps + detailed targets); the budget is enforced against it. */
+    std::uint64_t advanced = 0;
+    bool limitHit = false;
+};
+
+SamplePlan
+planWindows(const SamplingConfig &sc, const SampleCkpts &ckpts,
+            std::uint64_t budget)
+{
+    SamplePlan plan;
+    const std::uint64_t n = ckpts.archLength;
+    std::uint64_t a = 0;
+    std::uint64_t pos = 0;      // detail start of the next phase
+    std::uint64_t restore = 0;  // checkpoint it restores from
+    std::size_t k = 0;
+    const auto rem = [&] {
+        return budget == 0 ? ~std::uint64_t{0}
+                           : budget - std::min(budget, a);
+    };
+    while (true) {
+        if (rem() == 0) {
+            plan.limitHit = true;
+            break;
+        }
+        // Detailed phase.  Each period runs warm-up -> measurement ->
+        // gap, so the first measured window observes the program's
+        // initialization phase instead of fast-forwarding past it.
+        const std::uint64_t warm = std::min(sc.warmup, rem());
+        const std::uint64_t win = std::min(sc.window, rem() - warm);
+        plan.tasks.push_back({restore, pos - restore, warm, win,
+                              true});
+        const std::uint64_t d = std::min(warm + win, n + 1 - pos);
+        a += d;
+        pos += d;
+        if (pos >= n + 1)
+            break; // the Halt commits inside this detailed phase
+        if (rem() == 0) {
+            plan.limitHit = true;
+            break;
+        }
+
+        // Functional gap to the next checkpointed detail start.  The
+        // stored plan is the single source of truth for window
+        // placement (the jitter sequence lives in the checkpoint
+        // generator), so serial, window-parallel, and
+        // checkpoint-warm runs share identical plans by construction.
+        // The gap's tail — detail start minus warm start — is not
+        // skipped but replayed by the window task as functional
+        // warming; either way it advances the same instructions, so
+        // the budget accounting does not care about the split.
+        const bool have = k < ckpts.detailStarts.size();
+        const std::uint64_t next = have ? ckpts.detailStarts[k] : n;
+        if (next >= n) {
+            const std::uint64_t gap = n - pos;
+            if (rem() < gap) {
+                a += rem();
+                plan.limitHit = true;
+                break;
+            }
+            a += gap;
+            pos = n;
+            if (rem() == 0) {
+                plan.limitHit = true;
+                break;
+            }
+            // Detailed tail: restore at the architectural end and
+            // commit the Halt (ungated, not a measured window).
+            plan.tasks.push_back({n, 0, 0, 1, false});
+            a += 1;
+            break;
+        }
+        const std::uint64_t gap = next - pos;
+        if (rem() < gap) {
+            a += rem();
+            plan.limitHit = true;
+            break;
+        }
+        a += gap;
+        pos = next;
+        restore = ckpts.positions[k];
+        ++k;
+    }
+    plan.advanced = a;
+    return plan;
+}
+
+/** Everything one window task measures, merged in plan order. */
+struct WindowOutcome
+{
+    ProcStats proc;
+    DCacheStats dcache;
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t icacheMisses = 0;
+    Histogram lifetime[kNumRegClasses];
+    std::uint64_t warmCommitted = 0;
+    std::uint64_t windowCommitted = 0;
+    Cycle windowCycles = 0;
+    StopReason stop = StopReason::Running;
+    double warmSeconds = 0.0;
+    double windowSeconds = 0.0;
+};
+
+WindowOutcome
+runWindowTask(const CoreConfig &detail, const Program &program,
+              const SampleCkpts &ckpts, const WindowTask &task)
+{
+    WindowOutcome out;
+    // Construct directly in the snapshot state: the restore-at-
+    // construction overload skips the initial-image build, so a window
+    // task's setup cost is one bulk snapshot copy rather than three
+    // passes over the data segment (zero-fill, image build, restore).
+    const EmuArchState *state = nullptr;
+    if (task.restore != 0) {
+        state = ckpts.stateAt(task.restore);
+        if (state == nullptr) {
+            fatal("sampling plan references position ", task.restore,
+                  " with no checkpoint");
+        }
+    }
+    Processor proc = state != nullptr
+                         ? Processor(detail, program, *state)
+                         : Processor(detail, program);
+
+    const auto warm0 = std::chrono::steady_clock::now();
+    if (task.replay > 0 &&
+        proc.warmFastForward(task.replay) != task.replay) {
+        fatal("functional warming ended early: plan expected ",
+              task.replay, " instructions after position ",
+              task.restore);
+    }
+    if (task.warmTarget > 0) {
+        proc.setStatsGate(true);
+        proc.runDetailed(task.warmTarget);
+        proc.setStatsGate(false);
+    }
+    out.warmCommitted = proc.stats().committed;
+    out.warmSeconds = secondsSince(warm0);
+
+    const auto win0 = std::chrono::steady_clock::now();
+    const std::uint64_t c0 = proc.stats().committed;
+    const Cycle y0 = proc.stats().cycles;
+    if (task.winTarget > 0)
+        proc.runDetailed(c0 + task.winTarget);
+    out.windowCommitted = proc.stats().committed - c0;
+    out.windowCycles = proc.stats().cycles - y0;
+    out.windowSeconds = secondsSince(win0);
+
+    out.stop = proc.stopReason();
+    out.proc = proc.stats();
+    out.dcache = proc.dcache().stats();
+    out.icacheAccesses = proc.icache().accesses();
+    out.icacheMisses = proc.icache().misses();
+    for (int c = 0; c < kNumRegClasses; ++c)
+        out.lifetime[c] =
+            proc.rename().lifetimeHistogram(RegClass(c));
+    return out;
+}
+
+/**
+ * SMARTS-style systematic sampling, checkpoint-restored and
+ * window-parallel (DESIGN.md §5j).  The run decomposes into three
+ * phases: acquire the checkpointed interval plan from the library
+ * (generated once per (workload, sampling spec), shared across a
+ * sweep), derive the detailed window tasks from it under the
+ * instruction budget, and run every task on an independent Processor.
+ * Tasks write indexed outcome slots that are merged in plan order, so
+ * the combined SampledStats is bit-identical whether the tasks ran
+ * serially, on a private pool, or as a TaskGroup of the caller's pool
+ * — and whether the checkpoints were cold or warm.
  */
 SimResult
 runOneSampled(const CoreConfig &config, const Program &program,
@@ -59,122 +333,150 @@ runOneSampled(const CoreConfig &config, const Program &program,
 {
     const SamplingConfig &sc = config.sampling;
     CoreConfig detail = config;
-    // The commit-count limit is enforced here against *total*
+    // The commit-count limit is enforced by the plan against *total*
     // instructions advanced (fast-forwarded + detailed); the core's
     // detailed-only counter would run far past the budget.
     detail.maxCommitted = 0;
-    Processor proc(detail, program);
     const std::uint64_t budget = config.maxCommitted;
+    const SamplingExecPolicy policy = samplingExecPolicy();
+
+    SampleProfile prof;
+
+    // Phase 1: acquire the checkpoint plan.
+    const auto acq0 = std::chrono::steady_clock::now();
+    std::shared_ptr<const SampleCkpts> ckpts;
+    if (policy.useCkptLibrary) {
+        CkptStore::AcquireOutcome got = ckptLibrary().acquire(
+            ckptKeyFor(name, program, sc), program);
+        ckpts = got.plan;
+        prof.ckptHits = got.diskHits;
+        prof.ckptGenerated = got.generated;
+        prof.ckptFromMemory = got.fromMemory;
+    } else {
+        // Library disabled (bench baseline): private cold plan.
+        ckpts = std::make_shared<SampleCkpts>(generateSampleCkpts(
+            ckptKeyFor(name, program, sc), program));
+        prof.ckptGenerated = ckpts->states.size();
+    }
+    prof.acquireSeconds = secondsSince(acq0);
+
+    // Phase 2: derive the window tasks.
+    const SamplePlan plan = planWindows(sc, *ckpts, budget);
+
+    // Phase 3: run the tasks.  Results land in indexed slots, so the
+    // execution policy can never affect the merged statistics.
+    std::vector<WindowOutcome> outs(plan.tasks.size());
+    const auto runTask = [&](std::size_t i) {
+        outs[i] =
+            runWindowTask(detail, program, *ckpts, plan.tasks[i]);
+    };
+    ThreadPool *pool = ThreadPool::current();
+    if (policy.windowJobs == 1 || plan.tasks.size() <= 1) {
+        for (std::size_t i = 0; i < plan.tasks.size(); ++i)
+            runTask(i);
+    } else if (pool != nullptr) {
+        // Already on a pool worker (parallel runner, serve daemon):
+        // fan the windows out as a TaskGroup of the same pool instead
+        // of oversubscribing with a second one.
+        prof.windowJobs = pool->numThreads();
+        ThreadPool::TaskGroup group(*pool);
+        for (std::size_t i = 0; i < plan.tasks.size(); ++i)
+            group.submit([&runTask, i] { runTask(i); });
+        group.wait();
+    } else {
+        const int want =
+            policy.windowJobs > 0 ? policy.windowJobs : resolveJobs();
+        const int jobs = int(std::min<std::size_t>(
+            std::size_t(want), plan.tasks.size()));
+        if (jobs <= 1) {
+            for (std::size_t i = 0; i < plan.tasks.size(); ++i)
+                runTask(i);
+        } else {
+            prof.windowJobs = jobs;
+            ThreadPool local(jobs);
+            local.parallelFor(plan.tasks.size(), runTask);
+        }
+    }
+
+    // Phase 4: merge in plan order.
+    SimResult res;
+    res.workload = name;
+    res.fpIntensive = fp_intensive;
 
     SampledStats samp;
     samp.enabled = true;
-    std::vector<double> window_ipc;
-    bool limit_hit = false;
-
-    const auto advanced = [&]() {
-        return samp.fastForwarded + proc.stats().committed;
-    };
-    const auto remaining = [&]() {
-        return budget == 0 ? ~std::uint64_t{0}
-                           : budget - std::min(budget, advanced());
-    };
-
-    // Fixed-stride window placement aliases with periodic kernels:
-    // when the program's loop period divides the sampling interval,
-    // every window lands at the same phase offset, the window IPCs
-    // are identical, and the confidence interval collapses to a
-    // width of zero around a biased estimate.  Jittering each
-    // fast-forward length uniformly over [ff_len/2, 3*ff_len/2)
-    // breaks the alignment while preserving the mean sampling rate;
-    // the LCG is seeded with a constant so a given (config, program)
-    // pair still simulates deterministically.
-    const std::uint64_t ff_len = sc.interval - sc.warmup - sc.window;
-    std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
-    const auto jittered_ff = [&]() {
-        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
-        const std::uint64_t span = std::max<std::uint64_t>(ff_len, 1);
-        return ff_len / 2 + (lcg >> 33) % span;
-    };
-    while (!proc.done()) {
-        if (remaining() == 0) {
-            limit_hit = true;
-            break;
+    std::vector<double> window_cpi;
+    StopReason anomaly = StopReason::Running;
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+        const WindowOutcome &o = outs[i];
+        res.proc.merge(o.proc);
+        res.dcache.loads += o.dcache.loads;
+        res.dcache.loadMisses += o.dcache.loadMisses;
+        res.dcache.loadMerges += o.dcache.loadMerges;
+        res.dcache.storesBuffered += o.dcache.storesBuffered;
+        res.dcache.storeHits += o.dcache.storeHits;
+        res.dcache.fetchesCancelled += o.dcache.fetchesCancelled;
+        res.dcache.mshrRejections += o.dcache.mshrRejections;
+        res.icacheAccesses += o.icacheAccesses;
+        res.icacheMisses += o.icacheMisses;
+        for (int c = 0; c < kNumRegClasses; ++c)
+            res.lifetime[c].merge(o.lifetime[c]);
+        samp.warmupInsts += o.warmCommitted;
+        if (plan.tasks[i].measured) {
+            samp.measuredInsts += o.windowCommitted;
+            samp.measuredCycles += o.windowCycles;
+            if (o.windowCommitted > 0 && o.windowCycles > 0)
+                window_cpi.push_back(double(o.windowCycles) /
+                                     double(o.windowCommitted));
         }
-
-        // Detailed warm-up, distribution histograms gated.  Each
-        // period runs warm-up -> measurement -> fast-forward, so the
-        // first measured window observes the program's initialization
-        // phase instead of silently fast-forwarding past it — without
-        // that window, perfectly periodic kernels produce identical
-        // window IPCs and a degenerate zero-width confidence interval
-        // that can never cover the full-run IPC.
-        proc.setStatsGate(true);
-        const std::uint64_t warm_base = proc.stats().committed;
-        proc.runDetailed(warm_base +
-                         std::min(sc.warmup, remaining()));
-        proc.setStatsGate(false);
-        samp.warmupInsts += proc.stats().committed - warm_base;
-        if (proc.done() || remaining() == 0) {
-            limit_hit = !proc.done();
-            break;
-        }
-
-        // Measured window.
-        const std::uint64_t c0 = proc.stats().committed;
-        const Cycle y0 = proc.stats().cycles;
-        proc.runDetailed(c0 + std::min(sc.window, remaining()));
-        const std::uint64_t dc = proc.stats().committed - c0;
-        const Cycle dy = proc.stats().cycles - y0;
-        samp.measuredInsts += dc;
-        samp.measuredCycles += dy;
-        if (dc > 0 && dy > 0)
-            window_ipc.push_back(double(dc) / double(dy));
-        if (proc.done())
-            break;
-        if (remaining() == 0) {
-            limit_hit = true;
-            break;
-        }
-
-        // Functional phase.
-        const std::uint64_t want = std::min(jittered_ff(), remaining());
-        const std::uint64_t stepped = proc.fastForward(want);
-        samp.fastForwarded += stepped;
-        if (proc.done())
-            break;
-        if (stepped < want) {
-            // The program's halt is nearer than the period: finish
-            // detailed (the tail is at most a drain away).  Saturate
-            // the target — an unlimited budget's remaining() is the
-            // full uint64 range.
-            const std::uint64_t c = proc.stats().committed;
-            const std::uint64_t rem = remaining();
-            proc.runDetailed(rem > ~std::uint64_t{0} - c
-                                 ? ~std::uint64_t{0}
-                                 : c + rem);
-            limit_hit = !proc.done();
-            break;
-        }
+        if (anomaly == StopReason::Running &&
+            o.stop != StopReason::Running &&
+            o.stop != StopReason::Halted)
+            anomaly = o.stop;
+        prof.warmupSeconds += o.warmSeconds;
+        prof.windowSeconds += o.windowSeconds;
     }
 
-    samp.windows = window_ipc.size();
-    if (!window_ipc.empty()) {
+    samp.windows = window_cpi.size();
+    if (!window_cpi.empty()) {
+        // Windows hold (nearly) equal instruction counts, so the
+        // unbiased population estimate is the mean per-window *CPI*
+        // (arithmetic-averaging IPC would Jensen-bias the estimate
+        // high); the interval maps through the reciprocal by the
+        // delta method.
         double sum = 0.0;
-        for (double ipc : window_ipc)
-            sum += ipc;
-        samp.ipcEstimate = sum / double(window_ipc.size());
-        samp.ci95 = ci95HalfWidth(window_ipc);
+        for (double cpi : window_cpi)
+            sum += cpi;
+        const double mean_cpi = sum / double(window_cpi.size());
+        samp.ipcEstimate = 1.0 / mean_cpi;
+        samp.ci95 = ci95HalfWidth(window_cpi) * samp.ipcEstimate *
+                    samp.ipcEstimate;
     } else {
         // Degenerate run (shorter than one period): everything that
         // ran detailed is the best available estimate.
-        samp.ipcEstimate = proc.stats().commitIpc();
+        samp.ipcEstimate = res.proc.commitIpc();
         samp.ci95 = 0.0;
     }
+    // Detailed phases can overshoot their targets by up to
+    // commitWidth - 1; attribute the overlap to the detailed side so
+    // fastForwarded + committed still equals the instructions the
+    // plan advanced over (the full-run committed count on a
+    // run-to-halt, the budget on a truncated one).
+    samp.fastForwarded = plan.advanced > res.proc.committed
+                             ? plan.advanced - res.proc.committed
+                             : 0;
 
-    SimResult res = collect(proc, name, fp_intensive);
+    res.loadMissRate =
+        res.proc.executedLoads == 0
+            ? 0.0
+            : double(res.dcache.loadMisses) /
+                  double(res.proc.executedLoads);
     res.sampled = samp;
-    if (limit_hit)
-        res.stopReason = StopReason::InstLimit;
+    res.profile = prof;
+    res.stopReason = anomaly != StopReason::Running
+                         ? anomaly
+                         : (plan.limitHit ? StopReason::InstLimit
+                                          : StopReason::Halted);
     return res;
 }
 

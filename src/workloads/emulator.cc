@@ -42,11 +42,21 @@ Emulator::Emulator(Program &&prog)
 {
 }
 
+Emulator::Emulator(const Program &prog, const EmuArchState &state)
+    : Emulator(&prog, nullptr, &state)
+{
+}
+
 Emulator::Emulator(const Program *external,
-                   std::unique_ptr<const Program> owned)
+                   std::unique_ptr<const Program> owned,
+                   const EmuArchState *restore_from)
     : ownedProg_(std::move(owned)),
       prog_(external != nullptr ? *external : *ownedProg_)
 {
+    if (restore_from != nullptr) {
+        restoreArchState(*restore_from);
+        return;
+    }
     loc_ = prog_.entry();
     // Round the segment bound up to the 8-byte word grid canonical()
     // snaps addresses to, so the last partially-covered word is dense.
@@ -376,6 +386,55 @@ Emulator::stepArch()
     return step(taken);
 }
 
+void
+Emulator::buildFFTable()
+{
+    const auto &blocks = prog_.blocks();
+    const std::int32_t total = std::int32_t(prog_.numInsts());
+    ffBlockBase_.resize(blocks.size() + 1);
+    ffLocs_.reserve(std::size_t(total));
+    ffTable_.reserve(std::size_t(total));
+
+    std::int32_t flat = 0;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        ffBlockBase_[b] = flat;
+        for (std::size_t i = 0; i < blocks[b].insts.size(); ++i) {
+            ffLocs_.push_back(
+                {std::int32_t(b), std::int32_t(i)});
+            ++flat;
+        }
+    }
+    ffBlockBase_[blocks.size()] = flat;
+
+    const auto regIdx = [](RegId r) {
+        return r.valid() ? r.index : std::uint8_t(0xff);
+    };
+    for (std::int32_t f = 0; f < total; ++f) {
+        const Instruction &inst = prog_.instAt(ffLocs_[std::size_t(f)]);
+        FFInst d{};
+        d.op = inst.op;
+        d.destCls = inst.dest.renamed()
+                        ? std::uint8_t(inst.dest.cls)
+                        : std::uint8_t(0xff);
+        d.dest = inst.dest.valid() ? inst.dest.index
+                                   : std::uint8_t(0xff);
+        d.src1 = regIdx(inst.src1);
+        d.src2 = regIdx(inst.src2);
+        d.imm = inst.imm;
+        d.fall = f + 1 < total ? f + 1 : -1;
+        d.fallPc = d.fall >= 0
+                       ? prog_.pcOf(ffLocs_[std::size_t(d.fall)])
+                       : 0;
+        d.target = -1;
+        if (inst.target >= 0) {
+            const std::int32_t base =
+                ffBlockBase_[std::size_t(inst.target)];
+            d.target = base < total ? base : -1;
+        }
+        ffTable_.push_back(d);
+    }
+}
+
 std::uint64_t
 Emulator::fastForward(std::uint64_t n)
 {
@@ -383,19 +442,226 @@ Emulator::fastForward(std::uint64_t n)
         DRSIM_PANIC("fastForward() with ", liveMarks_.size(),
                     " live checkpoints");
     }
-    // With no live checkpoints every write path skips the undo log,
-    // and the StepInfo each step returns is discarded (dead-store
-    // eliminated), so this loop is pure architectural execution.
+    if (ffTable_.empty())
+        buildFFTable();
+
+    // Registers and memory are written directly — with no live
+    // checkpoints the undo log is provably empty, so this loop is
+    // pure architectural execution over the predecoded table.
+    const auto rdi = [this](std::uint8_t idx) -> std::uint64_t {
+        return idx >= std::uint8_t(kNumVirtualRegs) ||
+                       idx == std::uint8_t(kZeroReg)
+                   ? 0
+                   : intRegs_[idx];
+    };
+    const auto rdf = [this](std::uint8_t idx) -> double {
+        return idx >= std::uint8_t(kNumVirtualRegs) ||
+                       idx == std::uint8_t(kZeroReg)
+                   ? 0.0
+                   : fpRegs_[idx];
+    };
+
+    std::int32_t cur = loc_.valid() ? ffIndexOf(loc_) : -1;
     std::uint64_t done = 0;
-    while (done < n) {
-        if (fetchBlocked())
+    while (done < n && cur >= 0) {
+        const FFInst &d = ffTable_[std::size_t(cur)];
+        if (d.op == Opcode::Halt)
+            break; // leave the Halt for the detailed run to commit
+
+        std::uint64_t destBits = 0;
+        std::int32_t next = d.fall;
+        // Integer b-operand: src2 if present, else the immediate.
+        const std::uint64_t b = d.src2 != 0xff
+                                    ? rdi(d.src2)
+                                    : std::uint64_t(d.imm);
+        switch (d.op) {
+          case Opcode::Add:
+            destBits = rdi(d.src1) + b;
             break;
-        if (prog_.instAt(loc_).op == Opcode::Halt)
+          case Opcode::Sub:
+            destBits = rdi(d.src1) - b;
             break;
-        stepArch();
+          case Opcode::And:
+            destBits = rdi(d.src1) & b;
+            break;
+          case Opcode::Or:
+            destBits = rdi(d.src1) | b;
+            break;
+          case Opcode::Xor:
+            destBits = rdi(d.src1) ^ b;
+            break;
+          case Opcode::Sll:
+            destBits = rdi(d.src1) << (b & 63);
+            break;
+          case Opcode::Srl:
+            destBits = rdi(d.src1) >> (b & 63);
+            break;
+          case Opcode::Cmplt:
+            destBits = std::int64_t(rdi(d.src1)) < std::int64_t(b);
+            break;
+          case Opcode::Cmple:
+            destBits = std::int64_t(rdi(d.src1)) <= std::int64_t(b);
+            break;
+          case Opcode::Cmpeq:
+            destBits = rdi(d.src1) == b;
+            break;
+          case Opcode::Mul:
+            destBits = rdi(d.src1) * b;
+            break;
+
+          case Opcode::Fadd:
+            destBits = std::bit_cast<std::uint64_t>(
+                rdf(d.src1) + rdf(d.src2));
+            break;
+          case Opcode::Fsub:
+            destBits = std::bit_cast<std::uint64_t>(
+                rdf(d.src1) - rdf(d.src2));
+            break;
+          case Opcode::Fmul:
+            destBits = std::bit_cast<std::uint64_t>(
+                rdf(d.src1) * rdf(d.src2));
+            break;
+          case Opcode::Fcmplt:
+            destBits = std::bit_cast<std::uint64_t>(
+                rdf(d.src1) < rdf(d.src2) ? 1.0 : 0.0);
+            break;
+          case Opcode::Itof:
+            destBits = std::bit_cast<std::uint64_t>(
+                double(std::int64_t(rdi(d.src1))));
+            break;
+          case Opcode::Ftoi: {
+            const double v = rdf(d.src1);
+            destBits = std::isfinite(v) && std::abs(v) < 0x1.0p62
+                           ? std::uint64_t(std::int64_t(v))
+                           : 0;
+            break;
+          }
+          case Opcode::Fdivs: {
+            const float bb = float(rdf(d.src2));
+            const float a = float(rdf(d.src1));
+            destBits = std::bit_cast<std::uint64_t>(
+                bb == 0.0f ? 0.0 : double(a / bb));
+            break;
+          }
+          case Opcode::Fdivd: {
+            const double bb = rdf(d.src2);
+            destBits = std::bit_cast<std::uint64_t>(
+                bb == 0.0 ? 0.0 : rdf(d.src1) / bb);
+            break;
+          }
+          case Opcode::Fsqrt: {
+            const double a = rdf(d.src1);
+            destBits = std::bit_cast<std::uint64_t>(
+                a < 0.0 ? 0.0 : std::sqrt(a));
+            break;
+          }
+
+          case Opcode::Ldq:
+          case Opcode::Ldt:
+            destBits = memWord(
+                canonical(rdi(d.src1) + std::uint64_t(d.imm)));
+            break;
+          case Opcode::Stq:
+            rawWriteMem(
+                canonical(rdi(d.src1) + std::uint64_t(d.imm)),
+                rdi(d.src2));
+            break;
+          case Opcode::Stt:
+            rawWriteMem(
+                canonical(rdi(d.src1) + std::uint64_t(d.imm)),
+                std::bit_cast<std::uint64_t>(rdf(d.src2)));
+            break;
+
+          case Opcode::Beq:
+            if (rdi(d.src1) == 0)
+                next = d.target;
+            break;
+          case Opcode::Bne:
+            if (rdi(d.src1) != 0)
+                next = d.target;
+            break;
+          case Opcode::Fbeq:
+            if (rdf(d.src1) == 0.0)
+                next = d.target;
+            break;
+          case Opcode::Fbne:
+            if (rdf(d.src1) != 0.0)
+                next = d.target;
+            break;
+
+          case Opcode::Br:
+            next = d.target;
+            break;
+          case Opcode::Jsr:
+            destBits = d.fallPc;
+            next = d.target;
+            break;
+          case Opcode::Ret: {
+            const CodeLoc tgt = prog_.locOf(rdi(d.src1));
+            next = tgt.valid() ? ffIndexOf(tgt) : -1;
+            break;
+          }
+
+          case Opcode::Halt:
+            break; // unreachable (checked above)
+        }
+        if ((d.op == Opcode::Beq || d.op == Opcode::Bne ||
+             d.op == Opcode::Fbeq || d.op == Opcode::Fbne) &&
+            d.target == -1) {
+            DRSIM_PANIC("conditional branch to empty tail");
+        }
+
+        if (ffObs_ != nullptr) {
+            // Destination writes have not happened yet, so the
+            // recomputed effective address sees the same operand
+            // values the execution above used.
+            const Addr pc = prog_.pcOf(ffLocs_[std::size_t(cur)]);
+            ffObs_->ffFetch(pc);
+            switch (d.op) {
+              case Opcode::Ldq:
+              case Opcode::Ldt:
+                ffObs_->ffMem(
+                    canonical(rdi(d.src1) + std::uint64_t(d.imm)),
+                    false);
+                break;
+              case Opcode::Stq:
+              case Opcode::Stt:
+                ffObs_->ffMem(
+                    canonical(rdi(d.src1) + std::uint64_t(d.imm)),
+                    true);
+                break;
+              case Opcode::Beq:
+              case Opcode::Bne:
+              case Opcode::Fbeq:
+              case Opcode::Fbne:
+                ffObs_->ffBranch(pc, next == d.target);
+                break;
+              default:
+                break;
+            }
+        }
+
+        if (d.destCls == std::uint8_t(RegClass::Int)) {
+            if (d.dest != std::uint8_t(kZeroReg))
+                intRegs_[d.dest] = destBits;
+        } else if (d.destCls == std::uint8_t(RegClass::Fp)) {
+            if (d.dest != std::uint8_t(kZeroReg))
+                fpRegs_[d.dest] = std::bit_cast<double>(destBits);
+        }
+
+        ++steps_;
         ++done;
+        cur = next;
     }
+
+    loc_ = cur >= 0 ? ffLocs_[std::size_t(cur)] : CodeLoc{};
     return done;
+}
+
+std::int32_t
+Emulator::ffIndexOf(CodeLoc loc) const
+{
+    return ffBlockBase_[std::size_t(loc.block)] + loc.offset;
 }
 
 EmuArchState
@@ -492,31 +758,52 @@ Emulator::rollbackTo(EmuCheckpoint cp, Addr resume_pc)
         DRSIM_PANIC("rollback resume pc ", resume_pc, " is not code");
 }
 
+namespace {
+
 std::uint64_t
-Emulator::stateHash() const
+hashArchPieces(const std::array<std::uint64_t, kNumVirtualRegs> &ints,
+               const std::array<double, kNumVirtualRegs> &fps,
+               const std::vector<std::uint64_t> &data,
+               const std::unordered_map<Addr, std::uint64_t> &mem)
 {
     std::uint64_t h = 0x12345678;
     for (int i = 0; i < kNumVirtualRegs; ++i) {
-        h ^= mix64(intRegs_[i] + std::uint64_t(i) * 0x9e37);
-        h ^= mix64(std::bit_cast<std::uint64_t>(fpRegs_[i]) +
-                   std::uint64_t(i) * 0xabcd);
+        h ^= mix64(ints[std::size_t(i)] + std::uint64_t(i) * 0x9e37);
+        h ^= mix64(
+            std::bit_cast<std::uint64_t>(fps[std::size_t(i)]) +
+            std::uint64_t(i) * 0xabcd);
     }
     // Memory digest must be order-independent (dense segment plus
     // unordered_map overflow).  Zero words are skipped: unmapped
     // memory reads as zero, so a zero-valued entry (e.g. left by a
     // rolled-back wrong-path store to a fresh address) is
     // semantically absent.
-    for (std::size_t i = 0; i < data_.size(); ++i) {
-        if (data_[i] != 0) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (data[i] != 0) {
             const Addr addr = kDataBase + Addr(i) * 8;
-            h ^= mix64(addr * 0x9e3779b97f4a7c15ull ^ mix64(data_[i]));
+            h ^= mix64(addr * 0x9e3779b97f4a7c15ull ^ mix64(data[i]));
         }
     }
-    for (const auto &[addr, word] : mem_) {
+    for (const auto &[addr, word] : mem) {
         if (word != 0)
             h ^= mix64(addr * 0x9e3779b97f4a7c15ull ^ mix64(word));
     }
     return h;
+}
+
+} // namespace
+
+std::uint64_t
+Emulator::stateHash() const
+{
+    return hashArchPieces(intRegs_, fpRegs_, data_, mem_);
+}
+
+std::uint64_t
+archStateHash(const EmuArchState &state)
+{
+    return hashArchPieces(state.intRegs, state.fpRegs, state.data,
+                          state.mem);
 }
 
 } // namespace drsim

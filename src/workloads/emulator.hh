@@ -71,6 +71,14 @@ struct EmuArchState
     std::uint64_t steps = 0;
 };
 
+/**
+ * Order-independent digest of a snapshot's registers and memory.
+ * Matches Emulator::stateHash() of an emulator in exactly that state,
+ * so a checkpoint written to disk can be validated on load without
+ * constructing an Emulator (ckpt_store.cc).
+ */
+std::uint64_t archStateHash(const EmuArchState &state);
+
 class Emulator
 {
   public:
@@ -79,6 +87,16 @@ class Emulator
 
     /** Owning overload: safe to pass a temporary Program. */
     explicit Emulator(Program &&prog);
+
+    /**
+     * Construct directly in a restored architectural state: the
+     * initial program image is never materialized, so the cost is one
+     * bulk copy of @p state instead of a zero-fill plus a word-by-word
+     * image build plus a second bulk copy.  Equivalent to
+     * `Emulator(prog)` followed by `restoreArchState(state)`; @p state
+     * must have been saved from an emulator running @p prog.
+     */
+    Emulator(const Program &prog, const EmuArchState &state);
 
     /**
      * True when no instruction can be fetched: the program halted on
@@ -105,6 +123,28 @@ class Emulator
     StepInfo stepArch();
 
     /**
+     * Observer of the fast-forward instruction stream (functional
+     * warming, DESIGN.md §5j).  Callbacks fire per retired
+     * instruction, before its architectural effects are applied; the
+     * stream is purely architectural, so anything derived from it is
+     * a deterministic function of the starting state alone.
+     */
+    struct FfObserver
+    {
+        virtual ~FfObserver() = default;
+        /** Every instruction, with its PC. */
+        virtual void ffFetch(Addr pc) = 0;
+        /** Every load/store, with its effective address. */
+        virtual void ffMem(Addr addr, bool is_store) = 0;
+        /** Every conditional branch, with its resolved direction. */
+        virtual void ffBranch(Addr pc, bool taken) = 0;
+    };
+
+    /** Attach (or with nullptr detach) a fast-forward observer.  The
+     *  hook costs one predicted branch per instruction when unset. */
+    void setFfObserver(FfObserver *obs) { ffObs_ = obs; }
+
+    /**
      * Functional fast-forward: architecturally execute up to @p n
      * instructions with no undo logging and no StepInfo population.
      * Stops early when fetch blocks or the next instruction is Halt
@@ -112,6 +152,13 @@ class Emulator
      * fetches and commits it).  Returns the number of instructions
      * actually executed.  Must not be called with live checkpoints:
      * skipping the undo log would make them unrollbackable.
+     *
+     * Runs on a lazily-built predecoded flat instruction table
+     * (operand indices and branch targets resolved once), bypassing
+     * the per-step CodeLoc bookkeeping, StepInfo population, and
+     * double branch-direction evaluation of stepArch() — the
+     * per-instruction emulation floor the sampled legs of
+     * bench/simspeed are bounded by.
      */
     std::uint64_t fastForward(std::uint64_t n);
 
@@ -159,7 +206,8 @@ class Emulator
 
   private:
     Emulator(const Program *external,
-             std::unique_ptr<const Program> owned);
+             std::unique_ptr<const Program> owned,
+             const EmuArchState *restore_from = nullptr);
 
     struct UndoEntry
     {
@@ -169,6 +217,27 @@ class Emulator
         Addr addr;
         std::uint64_t oldBits;
     };
+
+    /**
+     * One predecoded instruction of the fast-forward table: operand
+     * register indices flattened out of RegId, branch targets resolved
+     * to flat table indices, the fallthrough's PC precomputed for Jsr.
+     */
+    struct FFInst
+    {
+        Opcode op;
+        std::uint8_t destCls;  ///< 0 int, 1 fp, 0xff no dest
+        std::uint8_t dest;
+        std::uint8_t src1;     ///< register index, 0xff invalid
+        std::uint8_t src2;
+        std::int64_t imm;
+        std::int32_t fall;     ///< flat index of fallthrough, -1 none
+        std::int32_t target;   ///< flat index of branch target, -1 none
+        Addr fallPc;           ///< PC of fallthrough (Jsr link value)
+    };
+
+    void buildFFTable();
+    std::int32_t ffIndexOf(CodeLoc loc) const;
 
     std::uint64_t intVal(RegId r) const;
     double fpVal(RegId r) const;
@@ -202,10 +271,22 @@ class Emulator
     std::uint64_t steps_ = 0;
 
     std::deque<UndoEntry> undo_;
+    /** Fast-forward stream observer (nullptr = none). */
+    FfObserver *ffObs_ = nullptr;
     /** Global index of undo_.front(). */
     std::uint64_t undoBase_ = 0;
     /** Live checkpoint marks -> reference count. */
     std::map<std::uint64_t, int> liveMarks_;
+
+    /// @name Fast-forward predecode (built on first fastForward())
+    /// @{
+    std::vector<FFInst> ffTable_;
+    /** Flat index -> CodeLoc (to restore loc_ on exit). */
+    std::vector<CodeLoc> ffLocs_;
+    /** Block index -> flat index of its first instruction at-or-after
+     *  (empty blocks resolve forward, mirroring blockEntryResolved). */
+    std::vector<std::int32_t> ffBlockBase_;
+    /// @}
 };
 
 } // namespace drsim

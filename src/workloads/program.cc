@@ -1,6 +1,7 @@
 #include "workloads/program.hh"
 
 #include "common/logging.hh"
+#include "workloads/digest.hh"
 
 namespace drsim {
 
@@ -42,6 +43,9 @@ Program::finalize()
         numInsts_ += bb.insts.size();
     }
     finalized_ = true;
+    // Fill the digest cache while digest_ is still empty, so
+    // programDigest() takes its computing path exactly once.
+    digest_ = programDigest(*this);
 }
 
 CodeLoc

@@ -131,6 +131,14 @@ class Program
     Addr dataLimit() const { return dataLimit_; }
     /// @}
 
+    /**
+     * Cached programDigest() (workloads/digest.hh), filled once by
+     * finalize() so the content-addressed caches can key on it without
+     * re-hashing the code and data image on every lookup.  Empty only
+     * before finalize().
+     */
+    const std::string &contentDigest() const { return digest_; }
+
   private:
     friend class ProgramBuilder;
 
@@ -143,6 +151,8 @@ class Program
     std::size_t numInsts_ = 0;
     std::unordered_map<Addr, std::uint64_t> initialWords_;
     Addr dataLimit_ = kDataBase;
+    /** Content digest; set by finalize() (see contentDigest()). */
+    std::string digest_;
     /** Flat pc -> CodeLoc table, indexed by (pc - kCodeBase) / 4. */
     std::vector<CodeLoc> pcTable_;
     bool finalized_ = false;

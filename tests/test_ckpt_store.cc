@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tests for the content-addressed checkpoint library (DESIGN.md §5j)
+ * and the window-parallel sampling driver built on it: bit-identical
+ * sampled statistics across execution policies (serial, 2-way, 8-way
+ * windows) and across cold/warm library states, corrupt-entry and
+ * rev-bump recompute, config-independent keys shared across a sweep,
+ * and the DRSIM_CKPT_MAX_BYTES eviction policy.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <string>
+
+#include "exp/registry.hh"
+#include "serve/result_io.hh"
+#include "sim/ckpt_store.hh"
+#include "sim/simulator.hh"
+#include "workloads/kernels.hh"
+
+namespace drsim {
+namespace {
+
+using exp::parseSamplingSpec;
+
+/** Self-deleting scratch directory for library tests. */
+class TmpDir
+{
+  public:
+    explicit TmpDir(const char *tag)
+    {
+        path_ = std::filesystem::temp_directory_path() /
+                ("drsim_ckpt_test_" + std::string(tag) + "_" +
+                 std::to_string(::getpid()));
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+    ~TmpDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+    std::string str() const { return path_.string(); }
+
+  private:
+    std::filesystem::path path_;
+};
+
+/** Scoped environment-variable override (nullptr = unset). */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        had_ = old != nullptr;
+        if (had_)
+            old_ = old;
+        if (value != nullptr)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~EnvGuard()
+    {
+        if (had_)
+            setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    bool had_;
+    std::string old_;
+};
+
+/** Restore the process-global execution policy on scope exit. */
+class PolicyGuard
+{
+  public:
+    PolicyGuard() : saved_(samplingExecPolicy()) {}
+    ~PolicyGuard() { setSamplingExecPolicy(saved_); }
+
+  private:
+    SamplingExecPolicy saved_;
+};
+
+/** A sampled configuration small enough for a unit test but with
+ *  several measured windows, warming replay, and a detailed tail. */
+CoreConfig
+sampledConfig(int regs = 96)
+{
+    CoreConfig cfg = exp::paperConfig(4, regs);
+    cfg.sampling = parseSamplingSpec("3000:200:400:500");
+    return cfg;
+}
+
+TEST(CkptSampling, WindowPolicyAndThreadCountAreByteIdentical)
+{
+    // No disk tier: this isolates the window-task decomposition.
+    EnvGuard dir("DRSIM_CKPT_DIR", nullptr);
+    PolicyGuard restore;
+    const Workload w = buildWorkload("espresso", 2);
+    const CoreConfig cfg = sampledConfig();
+
+    SamplingExecPolicy serial;
+    serial.useCkptLibrary = false;
+    serial.windowJobs = 1;
+    setSamplingExecPolicy(serial);
+    const SimResult base = simulate(cfg, w);
+    ASSERT_TRUE(base.sampled.enabled);
+    ASSERT_GE(base.sampled.windows, 3u);
+    const std::string want = serve::pointRecordJson(base);
+
+    for (int jobs : {1, 2, 8}) {
+        SamplingExecPolicy pooled;
+        pooled.useCkptLibrary = true;
+        pooled.windowJobs = jobs;
+        setSamplingExecPolicy(pooled);
+        const SimResult got = simulate(cfg, w);
+        EXPECT_EQ(serve::pointRecordJson(got), want)
+            << "windowJobs=" << jobs;
+    }
+}
+
+TEST(CkptSampling, ColdAndWarmDiskRunsAreByteIdentical)
+{
+    TmpDir dir("coldwarm");
+    PolicyGuard restore;
+    setSamplingExecPolicy(SamplingExecPolicy{});
+    const Workload w = buildWorkload("gcc1", 2);
+    const CoreConfig cfg = sampledConfig();
+
+    EnvGuard rev("DRSIM_CKPT_REV", nullptr);
+    EnvGuard cap("DRSIM_CKPT_MAX_BYTES", nullptr);
+    EnvGuard on("DRSIM_CKPT_DIR", dir.str().c_str());
+    const SimResult cold = simulate(cfg, w);
+    ASSERT_TRUE(cold.sampled.enabled);
+    EXPECT_GT(cold.profile.ckptGenerated, 0u);
+
+    // Changing any library environment variable rebuilds the global
+    // instance and drops its memory tier, so the next run must load
+    // every snapshot from disk — the cross-process warm path.  (A
+    // huge cap is behaviorally identical to the unbounded default but
+    // changes the instance signature.)
+    EnvGuard recap("DRSIM_CKPT_MAX_BYTES", "1000000000000");
+    const SimResult warm = simulate(cfg, w);
+    EXPECT_GT(warm.profile.ckptHits, 0u);
+    EXPECT_EQ(warm.profile.ckptGenerated, 0u);
+    EXPECT_EQ(serve::pointRecordJson(warm),
+              serve::pointRecordJson(cold));
+}
+
+TEST(CkptSampling, KeyIsConfigIndependentAndSharedAcrossSweep)
+{
+    EnvGuard dir("DRSIM_CKPT_DIR", nullptr);
+    EnvGuard rev("DRSIM_CKPT_REV", nullptr);
+    PolicyGuard restore;
+    setSamplingExecPolicy(SamplingExecPolicy{});
+    const Workload w = buildWorkload("doduc", 2);
+
+    // The key covers workload, program and sampling spec...
+    const CkptKey a =
+        ckptKeyFor("doduc", w.program, sampledConfig().sampling);
+    CoreConfig other = sampledConfig(48);
+    other.dcache.sizeBytes = 16 * 1024;
+    const CkptKey b = ckptKeyFor("doduc", w.program, other.sampling);
+    EXPECT_EQ(ckptKeyText(a, "r"), ckptKeyText(b, "r"));
+
+    // ...but not the sampling spec's fields.
+    SamplingConfig bumped = other.sampling;
+    bumped.warmff = other.sampling.warmff + 1;
+    const CkptKey c = ckptKeyFor("doduc", w.program, bumped);
+    EXPECT_NE(ckptKeyText(a, "r"), ckptKeyText(c, "r"));
+
+    // Two different machine configurations of one workload share one
+    // entry: the second sweep point never regenerates.
+    const SimResult first = simulate(sampledConfig(), w);
+    const SimResult second = simulate(other, w);
+    EXPECT_TRUE(second.profile.ckptFromMemory);
+    EXPECT_EQ(second.profile.ckptGenerated, 0u);
+    // Different configs time differently (and overshoot commit
+    // groups differently), but the architectural sampling plan is
+    // shared, so both see the same window placement.
+    EXPECT_EQ(first.sampled.windows, second.sampled.windows);
+}
+
+TEST(CkptStore, CorruptSnapshotRecomputesAndRestores)
+{
+    TmpDir dir("corrupt");
+    const Workload w = buildWorkload("compress", 2);
+    const CkptKey key =
+        ckptKeyFor("compress", w.program, sampledConfig().sampling);
+
+    CkptStore first(dir.str());
+    const CkptStore::AcquireOutcome gen = first.acquire(key, w.program);
+    ASSERT_GT(gen.generated, 0u);
+    ASSERT_GE(gen.plan->positions.size(), 2u);
+
+    // Flip bytes in the middle of one snapshot file.
+    const std::uint64_t pos = gen.plan->positions[0];
+    const std::string victim = first.statePath(key, pos);
+    ASSERT_TRUE(std::filesystem::exists(victim));
+    {
+        std::fstream f(victim,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(std::streamoff(
+            std::filesystem::file_size(victim) / 2));
+        f.write("\xde\xad\xbe\xef", 4);
+    }
+
+    // A fresh store (cold memory tier) must detect the damage,
+    // regenerate the snapshot, and serve a plan identical to the
+    // original — corruption costs time, never correctness.
+    CkptStore second(dir.str());
+    const CkptStore::AcquireOutcome redo =
+        second.acquire(key, w.program);
+    EXPECT_GE(second.stats().corrupt, 1u);
+    EXPECT_GT(redo.generated, 0u);
+    ASSERT_EQ(redo.plan->positions, gen.plan->positions);
+    ASSERT_EQ(redo.plan->detailStarts, gen.plan->detailStarts);
+    for (std::size_t i = 0; i < gen.plan->states.size(); ++i) {
+        EXPECT_EQ(archStateHash(redo.plan->states[i]),
+                  archStateHash(gen.plan->states[i]))
+            << "snapshot " << i;
+    }
+
+    // The regenerated snapshot was re-stored: a third store loads
+    // everything from disk with no corruption and no generation.
+    CkptStore third(dir.str());
+    const CkptStore::AcquireOutcome clean =
+        third.acquire(key, w.program);
+    EXPECT_EQ(third.stats().corrupt, 0u);
+    EXPECT_EQ(clean.generated, 0u);
+    EXPECT_EQ(clean.diskHits, gen.plan->states.size());
+}
+
+TEST(CkptStore, RevBumpRegeneratesInsteadOfServingStaleEntries)
+{
+    TmpDir dir("rev");
+    const Workload w = buildWorkload("ora", 2);
+    const CkptKey key =
+        ckptKeyFor("ora", w.program, sampledConfig().sampling);
+
+    CkptStore a(dir.str(), "ckpt-test-rev-a");
+    const CkptStore::AcquireOutcome first = a.acquire(key, w.program);
+    ASSERT_GT(first.generated, 0u);
+
+    // Same directory, bumped revision: the key hash changes, so the
+    // old entries are dead weight and the plan regenerates.
+    CkptStore b(dir.str(), "ckpt-test-rev-b");
+    const CkptStore::AcquireOutcome second = b.acquire(key, w.program);
+    EXPECT_EQ(second.diskHits, 0u);
+    EXPECT_GT(second.generated, 0u);
+    for (std::size_t i = 0; i < first.plan->states.size(); ++i) {
+        EXPECT_EQ(archStateHash(second.plan->states[i]),
+                  archStateHash(first.plan->states[i]));
+    }
+}
+
+TEST(CkptStore, ByteCapEvictsOldSnapshots)
+{
+    TmpDir dir("cap");
+    const Workload w = buildWorkload("tomcatv", 2);
+    const CkptKey key =
+        ckptKeyFor("tomcatv", w.program, sampledConfig().sampling);
+
+    // A cap far below one snapshot's size forces eviction right after
+    // every store; the library still works (memory tier serves the
+    // plan), it just cannot keep the disk entries.
+    CkptStore store(dir.str(), ckptRev(), 1024);
+    const CkptStore::AcquireOutcome got = store.acquire(key, w.program);
+    ASSERT_GT(got.generated, 0u);
+    EXPECT_GT(store.stats().evicted, 0u);
+
+    std::uintmax_t bytes = 0;
+    for (const auto &e :
+         std::filesystem::recursive_directory_iterator(dir.str())) {
+        if (e.is_regular_file())
+            bytes += e.file_size();
+    }
+    EXPECT_LE(bytes, 1024u);
+}
+
+TEST(CkptSampling, BudgetedRunsShareUnbudgetedCheckpoints)
+{
+    // Budget truncation happens at plan time, not generation time, so
+    // a capped sweep point reuses the library entry of the uncapped
+    // run — positions are budget-independent by construction.
+    EnvGuard dir("DRSIM_CKPT_DIR", nullptr);
+    EnvGuard rev("DRSIM_CKPT_REV", nullptr);
+    PolicyGuard restore;
+    setSamplingExecPolicy(SamplingExecPolicy{});
+    const Workload w = buildWorkload("mdljsp2", 2);
+
+    const SimResult full = simulate(sampledConfig(), w);
+    CoreConfig capped = sampledConfig();
+    capped.maxCommitted = 5000;
+    const SimResult part = simulate(capped, w);
+    EXPECT_TRUE(part.profile.ckptFromMemory);
+    EXPECT_EQ(part.profile.ckptGenerated, 0u);
+    EXPECT_LE(part.sampled.windows, full.sampled.windows);
+    EXPECT_EQ(part.stopReason, StopReason::InstLimit);
+}
+
+} // namespace
+} // namespace drsim

@@ -48,6 +48,18 @@ TEST(SamplingSpec, DefaultsDeriveFromInterval)
     const SamplingConfig sw = parseSamplingSpec("40000:500");
     EXPECT_EQ(sw.window, 500u);
     EXPECT_EQ(sw.warmup, 500u);
+    // warmff defaults to 0: functionally warm across the whole gap.
+    EXPECT_EQ(sw.warmff, 0u);
+}
+
+TEST(SamplingSpec, WarmffFieldParses)
+{
+    const SamplingConfig sc =
+        parseSamplingSpec("120000:500:500:4000");
+    EXPECT_EQ(sc.interval, 120000u);
+    EXPECT_EQ(sc.window, 500u);
+    EXPECT_EQ(sc.warmup, 500u);
+    EXPECT_EQ(sc.warmff, 4000u);
 }
 
 TEST(SamplingSpec, RejectsGarbageAndInfeasible)
@@ -55,7 +67,7 @@ TEST(SamplingSpec, RejectsGarbageAndInfeasible)
     EXPECT_THROW(parseSamplingSpec(""), FatalError);
     EXPECT_THROW(parseSamplingSpec("abc"), FatalError);
     EXPECT_THROW(parseSamplingSpec("1000:x"), FatalError);
-    EXPECT_THROW(parseSamplingSpec("1000:2:3:4"), FatalError);
+    EXPECT_THROW(parseSamplingSpec("1000:2:3:4:5"), FatalError);
     EXPECT_THROW(parseSamplingSpec("0"), FatalError);
     // interval must exceed warmup + window
     EXPECT_THROW(parseSamplingSpec("1000:600:400"), FatalError);

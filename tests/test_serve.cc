@@ -708,6 +708,61 @@ TEST(Protocol, SamplingKeyValidatedAndApplied)
     serving.join();
 }
 
+TEST(Protocol, StatsReportsCheckpointLibraryCounters)
+{
+    TmpDir dir("ckptstats");
+    ServerOptions opts;
+    opts.port = 0;
+    opts.cacheDir = dir.str();
+    opts.jobs = 2;
+    opts.scale = 1;
+    opts.maxCommitted = 4000;
+    Server server(std::move(opts));
+    const int port = server.start();
+    std::thread serving([&server] { server.serve(); });
+
+    {
+        ServeClient client("127.0.0.1:" + std::to_string(port));
+
+        client.sendLine("{\"verb\":\"stats\"}");
+        json::Value before = client.readReply();
+        ASSERT_EQ(before.at("reply").asString(), "stats");
+        const std::uint64_t gen0 =
+            before.at("ckpt_generated").asU64();
+
+        // A sampled sweep with two register points per workload
+        // exercises the library: the first point of each workload
+        // generates its plan, the second reuses it from memory.
+        client.sendLine(
+            "{\"verb\":\"run\",\"spec\":{\"name\":\"tiny\","
+            "\"axes\":{\"width\":[4],\"regs\":[64,80]}},"
+            "\"sampling\":{\"interval\":600,\"window\":100,"
+            "\"warmup\":100,\"warmff\":200}}");
+        json::Value reply = client.readReply();
+        ASSERT_EQ(reply.at("reply").asString(), "ack");
+        for (;;) {
+            reply = client.readReply();
+            if (reply.at("reply").asString() == "done")
+                break;
+        }
+
+        client.sendLine("{\"verb\":\"stats\"}");
+        json::Value after = client.readReply();
+        ASSERT_EQ(after.at("reply").asString(), "stats");
+        EXPECT_GT(after.at("ckpt_generated").asU64(), gen0);
+        EXPECT_GT(after.at("ckpt_memory_hits").asU64(), 0u);
+        // The remaining counters are present and parse as numbers.
+        for (const char *key :
+             {"ckpt_hits", "ckpt_misses", "ckpt_corrupt",
+              "ckpt_stores", "ckpt_evicted", "ckpt_coalesced"}) {
+            EXPECT_NO_THROW(after.at(key).asU64()) << key;
+        }
+    }
+
+    server.requestStop();
+    serving.join();
+}
+
 TEST(Protocol, RecvEintrRetriesInsteadOfDisconnecting)
 {
     // Regression test: a signal delivered to a connection thread
