@@ -1,0 +1,73 @@
+#include "bpred/gshare.hh"
+
+#include "common/logging.hh"
+
+namespace drsim {
+
+GsharePredictor::GsharePredictor()
+{
+    // Weakly not-taken, matching the paper predictor's reset state.
+    table_.fill(1);
+}
+
+bool
+GsharePredictor::predict(Addr pc) const
+{
+    return counterTaken(table_[index(pc, history_)]);
+}
+
+bool
+GsharePredictor::predictAndUpdateHistory(Addr pc)
+{
+    const bool taken = predict(pc);
+    history_ = ((history_ << 1) | std::uint32_t(taken)) & kHistoryMask;
+    return taken;
+}
+
+void
+GsharePredictor::update(Addr pc, std::uint64_t history_used,
+                        bool taken)
+{
+    std::uint8_t &c = table_[index(
+        pc, std::uint32_t(history_used) & kHistoryMask)];
+    if (taken) {
+        if (c < 3)
+            ++c;
+    } else {
+        if (c > 0)
+            --c;
+    }
+}
+
+void
+GsharePredictor::repairHistory(std::uint64_t history_before,
+                               bool taken)
+{
+    history_ = ((std::uint32_t(history_before) << 1) |
+                std::uint32_t(taken)) &
+               kHistoryMask;
+}
+
+std::vector<std::uint8_t>
+GsharePredictor::saveState() const
+{
+    std::vector<std::uint8_t> out(table_.begin(), table_.end());
+    bpred::putU64(out, history_);
+    return out;
+}
+
+void
+GsharePredictor::restoreState(const std::vector<std::uint8_t> &bytes)
+{
+    const std::size_t expect = table_.size() + 8;
+    if (bytes.size() != expect) {
+        fatal("gshare predictor state: ", bytes.size(),
+              " bytes, expected ", expect);
+    }
+    std::copy(bytes.begin(), bytes.begin() + kTableSize,
+              table_.begin());
+    history_ = std::uint32_t(bpred::getU64(bytes, kTableSize)) &
+               kHistoryMask;
+}
+
+} // namespace drsim

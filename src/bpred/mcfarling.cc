@@ -1,5 +1,7 @@
 #include "bpred/mcfarling.hh"
 
+#include "common/logging.hh"
+
 namespace drsim {
 
 CombinedPredictor::CombinedPredictor()
@@ -28,11 +30,12 @@ CombinedPredictor::predictAndUpdateHistory(Addr pc)
 }
 
 void
-CombinedPredictor::update(Addr pc, std::uint32_t history_used,
+CombinedPredictor::update(Addr pc, std::uint64_t history_used,
                           bool taken)
 {
     PcEntry &e = pcTable_[pcIndex(pc)];
-    std::uint8_t &gl = global_[gshareIndex(pc, history_used)];
+    std::uint8_t &gl = global_[gshareIndex(
+        pc, std::uint32_t(history_used) & kHistoryMask)];
     const bool bi_correct = counterTaken(e.bimodal) == taken;
     const bool gl_correct = counterTaken(gl) == taken;
     // The selector trains toward whichever component was right.
@@ -43,11 +46,45 @@ CombinedPredictor::update(Addr pc, std::uint32_t history_used,
 }
 
 void
-CombinedPredictor::repairHistory(std::uint32_t history_before,
+CombinedPredictor::repairHistory(std::uint64_t history_before,
                                  bool taken)
 {
-    history_ = ((history_before << 1) | std::uint32_t(taken)) &
+    history_ = ((std::uint32_t(history_before) << 1) |
+                std::uint32_t(taken)) &
                kHistoryMask;
+}
+
+std::vector<std::uint8_t>
+CombinedPredictor::saveState() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(std::size_t(3) * kTableSize + 8);
+    for (const PcEntry &e : pcTable_) {
+        out.push_back(e.bimodal);
+        out.push_back(e.selector);
+    }
+    for (const std::uint8_t g : global_)
+        out.push_back(g);
+    bpred::putU64(out, history_);
+    return out;
+}
+
+void
+CombinedPredictor::restoreState(const std::vector<std::uint8_t> &bytes)
+{
+    const std::size_t expect = std::size_t(3) * kTableSize + 8;
+    if (bytes.size() != expect) {
+        fatal("mcfarling predictor state: ", bytes.size(),
+              " bytes, expected ", expect);
+    }
+    std::size_t at = 0;
+    for (PcEntry &e : pcTable_) {
+        e.bimodal = bytes[at++];
+        e.selector = bytes[at++];
+    }
+    for (std::uint8_t &g : global_)
+        g = bytes[at++];
+    history_ = std::uint32_t(bpred::getU64(bytes, at)) & kHistoryMask;
 }
 
 } // namespace drsim

@@ -20,11 +20,12 @@
 #include <array>
 #include <cstdint>
 
+#include "bpred/predictor.hh"
 #include "common/types.hh"
 
 namespace drsim {
 
-class CombinedPredictor
+class CombinedPredictor final : public BranchPredictor
 {
   public:
     static constexpr int kTableBits = 11;
@@ -33,43 +34,30 @@ class CombinedPredictor
 
     CombinedPredictor();
 
+    const char *name() const override { return "mcfarling"; }
+
     /** The global-history register value (for checkpoint/repair). */
-    std::uint32_t history() const { return history_; }
+    std::uint64_t history() const override { return history_; }
 
-    /**
-     * Predict the direction of the conditional branch at @p pc and
-     * speculatively shift the prediction into the history register
-     * (call at dispatch-queue insert).
-     */
-    bool predictAndUpdateHistory(Addr pc);
+    bool predictAndUpdateHistory(Addr pc) override;
 
-    /** Predict without touching any state (for inspection/tests). */
-    bool predict(Addr pc) const;
+    bool predict(Addr pc) const override;
 
-    /**
-     * Train the counters with the branch's actual direction (call at
-     * branch issue/execute).  @p pc is the branch PC; @p history_used
-     * is the history value the prediction was made with (the value
-     * *before* this branch's own speculative update).
-     */
-    void update(Addr pc, std::uint32_t history_used, bool taken);
+    void update(Addr pc, std::uint64_t history_used,
+                bool taken) override;
 
-    /**
-     * Repair after a misprediction: restore the history register to
-     * @p history_before (the pre-branch value) with the branch's
-     * actual direction shifted in.
-     */
-    void repairHistory(std::uint32_t history_before, bool taken);
+    void repairHistory(std::uint64_t history_before,
+                       bool taken) override;
 
-    /** Shift a resolved direction into the history register (used by
-     *  the execute-time-history ablation instead of the speculative
-     *  insert-time update). */
     void
-    shiftHistory(bool taken)
+    shiftHistory(bool taken) override
     {
         history_ = ((history_ << 1) | std::uint32_t(taken)) &
                    kHistoryMask;
     }
+
+    std::vector<std::uint8_t> saveState() const override;
+    void restoreState(const std::vector<std::uint8_t> &bytes) override;
 
   private:
     static std::uint32_t
@@ -79,8 +67,8 @@ class CombinedPredictor
         return std::uint32_t(pc >> 2) & (kTableSize - 1);
     }
 
-    std::uint32_t
-    gshareIndex(Addr pc, std::uint32_t history) const
+    static std::uint32_t
+    gshareIndex(Addr pc, std::uint32_t history)
     {
         return (std::uint32_t(pc >> 2) ^ history) & (kTableSize - 1);
     }

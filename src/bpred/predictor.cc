@@ -1,0 +1,56 @@
+#include "bpred/predictor.hh"
+
+#include "bpred/bimodal.hh"
+#include "bpred/gshare.hh"
+#include "bpred/mcfarling.hh"
+#include "bpred/tage.hh"
+#include "common/logging.hh"
+
+namespace drsim {
+
+const std::vector<std::string> &
+predictorSpecs()
+{
+    static const std::vector<std::string> specs = {
+        "mcfarling", "bimodal", "gshare", "tage"};
+    return specs;
+}
+
+bool
+knownPredictor(const std::string &spec)
+{
+    for (const std::string &s : predictorSpecs()) {
+        if (s == spec)
+            return true;
+    }
+    return false;
+}
+
+std::string
+predictorSpecList()
+{
+    std::string out;
+    for (const std::string &s : predictorSpecs()) {
+        if (!out.empty())
+            out += ", ";
+        out += s;
+    }
+    return out;
+}
+
+std::unique_ptr<BranchPredictor>
+makeBranchPredictor(const std::string &spec)
+{
+    if (spec == "mcfarling")
+        return std::make_unique<CombinedPredictor>();
+    if (spec == "bimodal")
+        return std::make_unique<BimodalPredictor>();
+    if (spec == "gshare")
+        return std::make_unique<GsharePredictor>();
+    if (spec == "tage")
+        return std::make_unique<TagePredictor>();
+    fatal("unknown branch predictor '", spec, "' (known: ",
+          predictorSpecList(), ")");
+}
+
+} // namespace drsim

@@ -6,7 +6,9 @@
 #ifndef DRSIM_CORE_CONFIG_HH
 #define DRSIM_CORE_CONFIG_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 
 #include "common/types.hh"
 #include "memory/cache.hh"
@@ -70,6 +72,17 @@ struct CoreConfig
     int numPhysRegs = 2048;
 
     ExceptionModel exceptionModel = ExceptionModel::Precise;
+
+    /** Branch-predictor backend, keyed into makeBranchPredictor():
+     *  "mcfarling" (the paper's combined predictor, default),
+     *  "bimodal", "gshare", or "tage" (DESIGN.md §5k). */
+    std::string predictor = "mcfarling";
+
+    /** Result (writeback) buses: register-writing completions in the
+     *  same cycle beyond this count are deferred a cycle, oldest
+     *  first (CDB structural hazard).  0 = unlimited, the paper's
+     *  model and the default. */
+    int resultBuses = 0;
 
     /** Data-cache organization. */
     CacheKind cacheKind = CacheKind::LockupFree;
@@ -167,9 +180,12 @@ struct CoreConfig
     int commitWidth() const { return 2 * issueWidth; }
     int intIssueLimit() const { return issueWidth; }
     int fpIssueLimit() const { return issueWidth / 2; }
-    int fpDivIssueLimit() const { return issueWidth / 4; }
+    /** Floored at one: a narrow machine (width 2) still has a divider
+     *  and can still issue branches — a zero limit would silently
+     *  deadlock the first fp-divide or conditional branch. */
+    int fpDivIssueLimit() const { return std::max(1, issueWidth / 4); }
     int memIssueLimit() const { return issueWidth / 2; }
-    int ctrlIssueLimit() const { return issueWidth / 4; }
+    int ctrlIssueLimit() const { return std::max(1, issueWidth / 4); }
     /** Unpipelined divide/sqrt units. */
     int numFpDividers() const { return fpDivIssueLimit(); }
     /// @}

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "bpred/predictor.hh"
 #include "common/logging.hh"
 #include "isa/instruction.hh"
 
@@ -31,9 +32,10 @@ checkCoreConfig(const CoreConfig &cfg)
 {
     std::vector<ConfigFinding> out;
 
-    if (cfg.issueWidth != 4 && cfg.issueWidth != 8) {
+    if (cfg.issueWidth != 2 && cfg.issueWidth != 4 &&
+        cfg.issueWidth != 8) {
         add(out, "issue-width", true,
-            str("issue width must be 4 or 8 (got ", cfg.issueWidth,
+            str("issue width must be 2, 4 or 8 (got ", cfg.issueWidth,
                 ")"));
     } else {
         // The derived limits below divide by issueWidth factors, so
@@ -50,6 +52,37 @@ checkCoreConfig(const CoreConfig &cfg)
                 str("split dispatch queues divide dqSize 2:1:1; ",
                     cfg.dqSize, " entries starve the memory queue"));
         }
+        // Every per-class limit must stay >= 1 at narrow widths (the
+        // derived getters floor the width/4 classes); a zero limit
+        // silently deadlocks the first instruction of that class.
+        if (cfg.fpDivIssueLimit() < 1 || cfg.ctrlIssueLimit() < 1 ||
+            cfg.fpIssueLimit() < 1 || cfg.memIssueLimit() < 1 ||
+            cfg.numFpDividers() < 1) {
+            add(out, "issue-class-starved", true,
+                str("issue width ", cfg.issueWidth,
+                    " derives a zero per-class issue limit: that "
+                    "instruction class could never issue"));
+        }
+    }
+
+    if (!knownPredictor(cfg.predictor)) {
+        add(out, "unknown-predictor", true,
+            str("unknown branch predictor '", cfg.predictor,
+                "' (known: ", predictorSpecList(), ")"));
+    }
+
+    if (cfg.resultBuses < 0) {
+        add(out, "negative-result-buses", true,
+            str("result buses must be >= 0 (got ", cfg.resultBuses,
+                "; 0 = unlimited)"));
+    } else if (cfg.resultBuses > 0 &&
+               cfg.resultBuses < cfg.issueWidth / 2) {
+        add(out, "result-buses-lt-half-width", false,
+            str(cfg.resultBuses, " result bus",
+                cfg.resultBuses == 1 ? "" : "es",
+                " under an issue width of ", cfg.issueWidth,
+                " will serialize writeback; expect heavy "
+                "result_bus stalls"));
     }
 
     if (cfg.numPhysRegs < kNumVirtualRegs) {

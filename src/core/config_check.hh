@@ -31,7 +31,7 @@ struct ConfigFinding
 };
 
 /**
- * All feasibility findings for @p cfg: issue width not 4/8, dispatch
+ * All feasibility findings for @p cfg: issue width not 2/4/8, dispatch
  * window smaller than the issue width, too few physical registers,
  * split queues with a starved class, inconsistent sampling lengths
  * (warmup >= interval, zero window, no fast-forward left), and a

@@ -53,8 +53,9 @@ struct DynInst
     bool predictedTaken = false;
     bool actualTaken = false;
     bool mispredicted = false;
-    /** Global-history value before this branch's speculative update. */
-    std::uint32_t historyBefore = 0;
+    /** Opaque predictor-history token captured before this branch's
+     *  speculative update (BranchPredictor::history()). */
+    std::uint64_t historyBefore = 0;
     /** Emulator checkpoint (conditional branches only). */
     EmuCheckpoint emuCp = 0;
     bool hasEmuCp = false;

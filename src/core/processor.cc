@@ -17,6 +17,7 @@ cycleCauseName(CycleCause cause)
       case CycleCause::Busy: return "busy";
       case CycleCause::IssueWidthBound: return "issue_width_bound";
       case CycleCause::WriteBufferFull: return "write_buffer_full";
+      case CycleCause::ResultBus: return "result_bus";
       case CycleCause::MemPortSaturated: return "mem_port_saturated";
       case CycleCause::DividerBusy: return "divider_busy";
       case CycleCause::DqFullInt: return "dq_full_int";
@@ -79,6 +80,7 @@ Processor::Processor(const CoreConfig &config, const Program *external,
       program_(external != nullptr ? *external : *ownedProgram_),
       emu_(restore_from != nullptr ? Emulator(program_, *restore_from)
                                    : Emulator(program_)),
+      pred_(makeBranchPredictor(config_.predictor)),
       dcache_(config.cacheKind, config.dcache),
       icache_(config.icache),
       rename_(config.numPhysRegs, config.exceptionModel),
@@ -223,8 +225,8 @@ Processor::warmFastForward(std::uint64_t n)
         void
         ffBranch(Addr pc, bool taken) override
         {
-            p.pred_.update(pc, p.pred_.history(), taken);
-            p.pred_.shiftHistory(taken);
+            p.pred_->update(pc, p.pred_->history(), taken);
+            p.pred_->shiftHistory(taken);
         }
     };
 
@@ -562,9 +564,53 @@ Processor::drainKillers()
 }
 
 void
+Processor::arbitrateResultBuses(std::vector<CompletionEvent> &bucket)
+{
+    // Collect this cycle's register-writing completions (the only
+    // consumers of a writeback bus; stores and branches produce no
+    // register value).  Squashed events are left for the main loop's
+    // validity filter.
+    std::vector<InstSeqNum> writers;
+    for (const CompletionEvent &ev : bucket) {
+        if (validInst(ev.seq, ev.uid) && inst(ev.seq).writesReg())
+            writers.push_back(ev.seq);
+    }
+    if (int(writers.size()) <= config_.resultBuses)
+        return;
+
+    // Oldest-first grant: losers move to the next cycle's bucket and
+    // their destination's readiness is pushed back with them, so both
+    // schedulers' operand checks (the scan's isReady() and the event
+    // path's wakeDependents(), which only fires on an actual
+    // completion) observe the deferral identically.
+    std::sort(writers.begin(), writers.end());
+    const auto granted_end =
+        writers.begin() + std::size_t(config_.resultBuses);
+    std::vector<CompletionEvent> kept;
+    kept.reserve(bucket.size());
+    auto &next = ring_[(now_ + 1) % ringSize_];
+    for (const CompletionEvent &ev : bucket) {
+        const bool deferred =
+            std::binary_search(granted_end, writers.end(), ev.seq) &&
+            validInst(ev.seq, ev.uid) && inst(ev.seq).writesReg();
+        if (!deferred) {
+            kept.push_back(ev);
+            continue;
+        }
+        DynInst &in = inst(ev.seq);
+        rename_.setReady(in.si->dest.cls, in.physDest, now_ + 1);
+        next.push_back(ev);
+        obs_.resultBusContended = true;
+    }
+    bucket.swap(kept);
+}
+
+void
 Processor::completeStage()
 {
     auto &bucket = ring_[now_ % ringSize_];
+    if (config_.resultBuses > 0 && !bucket.empty())
+        arbitrateResultBuses(bucket);
     for (const CompletionEvent &ev : bucket) {
         if (!validInst(ev.seq, ev.uid))
             continue; // squashed while in flight
@@ -659,9 +705,9 @@ Processor::finishIssue(DynInst &in, Cycle complete_at)
         ++stats_.executedCondBranches;
         trimUnissuedFront();
         // Counters train at execution, in execution order (paper 2.1).
-        pred_.update(in.pc, in.historyBefore, in.actualTaken);
+        pred_->update(in.pc, in.historyBefore, in.actualTaken);
         if (!config_.speculativeHistoryUpdate)
-            pred_.shiftHistory(in.actualTaken);
+            pred_->shiftHistory(in.actualTaken);
         if (in.mispredicted)
             ++stats_.mispredictedBranches;
     }
@@ -1175,7 +1221,7 @@ Processor::recover(DynInst &branch)
     // history ablation the register never held speculative bits, and
     // this branch's own direction was already shifted in at issue.
     if (config_.speculativeHistoryUpdate)
-        pred_.repairHistory(branch.historyBefore, branch.actualTaken);
+        pred_->repairHistory(branch.historyBefore, branch.actualTaken);
 
     // Fetch resumes down the correct path next cycle.
     redirectedThisCycle_ = true;
@@ -1241,13 +1287,13 @@ Processor::insertStage()
 
         bool follow_taken = false;
         if (si->isCondBranch()) {
-            in.historyBefore = pred_.history();
+            in.historyBefore = pred_->history();
             if (config_.speculativeHistoryUpdate) {
-                follow_taken = pred_.predictAndUpdateHistory(pc);
+                follow_taken = pred_->predictAndUpdateHistory(pc);
             } else {
                 // Ablation: the history register is only updated when
                 // the branch executes.
-                follow_taken = pred_.predict(pc);
+                follow_taken = pred_->predict(pc);
             }
             in.predictedTaken = follow_taken;
             in.emuCp = emu_.takeCheckpoint();
@@ -1324,6 +1370,8 @@ Processor::classifyCycle()
                                      : CycleCause::Busy;
     } else if (obs_.writeBufferFull) {
         cause = CycleCause::WriteBufferFull;
+    } else if (obs_.resultBusContended) {
+        cause = CycleCause::ResultBus;
     } else if (obs_.memPortSaturated) {
         cause = CycleCause::MemPortSaturated;
     } else if (obs_.dividerBusy) {

@@ -39,7 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "bpred/mcfarling.hh"
+#include "bpred/predictor.hh"
 #include "common/ring_deque.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -76,6 +76,7 @@ enum class CycleCause : std::uint8_t {
     Busy = 0,         ///< issued/committed, no budget exhaustion
     IssueWidthBound,  ///< issued at the width limit with work left
     WriteBufferFull,  ///< commit blocked on the finite write buffer
+    ResultBus,        ///< a completion lost result-bus arbitration
     MemPortSaturated, ///< cache/MSHRs refused a ready memory op
     DividerBusy,      ///< every unpipelined divider occupied
     DqFullInt,        ///< insert blocked: int (or unified) queue full
@@ -88,7 +89,7 @@ enum class CycleCause : std::uint8_t {
     OperandWait,      ///< residual: dependencies and latencies
 };
 
-constexpr int kNumCycleCauses = 13;
+constexpr int kNumCycleCauses = 14;
 
 /** Stable snake_case identifier, e.g. "write_buffer_full" (also the
  *  JSON key in the schema-v2 results artifact). */
@@ -296,6 +297,7 @@ class Processor
     const DataCache &dcache() const { return dcache_; }
     const InstCache &icache() const { return icache_; }
     const RenameUnit &rename() const { return rename_; }
+    const BranchPredictor &predictor() const { return *pred_; }
     Cycle now() const { return now_; }
 
     /** In-flight window occupancy (testing aid). */
@@ -358,6 +360,8 @@ class Processor
         bool issued = false;
         bool committed = false;
         bool writeBufferFull = false;
+        /** A register-writing completion was deferred this cycle. */
+        bool resultBusContended = false;
         bool memPortSaturated = false;
         bool dividerBusy = false;
         bool issueWidthBound = false;
@@ -402,6 +406,9 @@ class Processor
     /// @{
     void commitStage();
     void completeStage();
+    /** Finite-bus CDB arbitration: defer this cycle's excess
+     *  register-writing completions, oldest granted first. */
+    void arbitrateResultBuses(std::vector<CompletionEvent> &bucket);
     void issueStage();
     /** Reference scheduler: rescan every dispatch-queue entry. */
     void issueStageScan();
@@ -460,7 +467,8 @@ class Processor
     std::unique_ptr<const Program> ownedProgram_;
     const Program &program_;
     Emulator emu_;
-    CombinedPredictor pred_;
+    /** The configured backend (CoreConfig::predictor); never null. */
+    std::unique_ptr<BranchPredictor> pred_;
     DataCache dcache_;
     InstCache icache_;
     RenameUnit rename_;

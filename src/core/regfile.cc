@@ -15,8 +15,11 @@ exceptionModelName(ExceptionModel model)
 void
 CoreConfig::validate() const
 {
-    if (issueWidth != 4 && issueWidth != 8)
-        fatal("issue width must be 4 or 8 (got ", issueWidth, ")");
+    if (issueWidth != 2 && issueWidth != 4 && issueWidth != 8)
+        fatal("issue width must be 2, 4 or 8 (got ", issueWidth, ")");
+    if (resultBuses < 0)
+        fatal("result buses must be >= 0 (got ", resultBuses,
+              "; 0 = unlimited)");
     if (dqSize < 1)
         fatal("dispatch queue must have at least one entry");
     if (splitDispatchQueues && memQueueSize() < 1)

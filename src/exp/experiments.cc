@@ -19,6 +19,7 @@
 #include <cstdio>
 
 #include "analysis/bounds.hh"
+#include "bpred/predictor.hh"
 #include "common/stats.hh"
 #include "exp/experiments.hh"
 #include "timing/regfile_timing.hh"
@@ -864,6 +865,118 @@ extBoundsPrint(const RunContext &ctx,
                 "estimate brackets it from below.\n");
 }
 
+// --------------------------------------------------------- ext_predictors
+
+std::vector<GridDef>
+extPredictorsGrids()
+{
+    GridDef grid;
+    grid.base = paperConfig(4, 2048);
+    grid.axes = {
+        predictorAxis(predictorSpecs()),
+        resultBusAxis({0, 2}),
+        variantAxis(
+            "sched",
+            {{"event", [](CoreConfig &) {}},
+             {"scan",
+              [](CoreConfig &c) { c.scanScheduler = true; }}}),
+        regsAxis(paperRegs())};
+    return {grid};
+}
+
+void
+extPredictorsPrint(const RunContext &,
+                   const std::vector<ExperimentResult> &results)
+{
+    const std::vector<int> sweep = paperRegs();
+    const std::size_t nregs = sweep.size();
+    const std::vector<std::string> &preds = predictorSpecs();
+    constexpr int kBuses[2] = {0, 2};
+    const char *sched_names[2] = {"event", "scan"};
+
+    // Row-major over (predictor, buses, sched, regs) as declared.
+    const auto index = [&](std::size_t p, int b, int v,
+                           std::size_t r) {
+        return ((p * 2 + std::size_t(b)) * 2 + std::size_t(v)) *
+                   nregs +
+               r;
+    };
+    // Smallest file within 2% of the 256-register IPC — the same
+    // knee definition ext_bounds uses, so the register-pressure
+    // conclusions line up across experiments.
+    const auto knee_of = [&](std::size_t p, int b, int v) {
+        const double ipc_max =
+            results[index(p, b, v, nregs - 1)].suite.avgCommitIpc();
+        for (std::size_t r = 0; r < nregs; ++r) {
+            if (results[index(p, b, v, r)].suite.avgCommitIpc() >=
+                0.98 * ipc_max) {
+                return sweep[r];
+            }
+        }
+        return sweep.back();
+    };
+
+    int disagreements = 0;
+    std::printf("\n4-way, DQ=32, lockup-free; registers swept "
+                "%d..%d\n",
+                sweep.front(), sweep.back());
+    std::printf("%-10s %6s %6s | %8s %9s %11s %5s\n", "predictor",
+                "buses", "sched", "IPC@256", "mispred%",
+                "result_bus%", "knee");
+    for (std::size_t p = 0; p < preds.size(); ++p) {
+        for (int b = 0; b < 2; ++b) {
+            for (int v = 0; v < 2; ++v) {
+                const ExperimentResult &top =
+                    results[index(p, b, v, nregs - 1)];
+                double mispred = 0.0;
+                for (const auto &r : top.suite.runs())
+                    mispred += r.mispredictRate();
+                mispred /= double(top.suite.runs().size());
+                std::printf(
+                    "%-10s %6s %6s | %8.2f %8.1f%% %10.2f%% %5d\n",
+                    preds[p].c_str(),
+                    kBuses[b] == 0
+                        ? "inf"
+                        : std::to_string(kBuses[b]).c_str(),
+                    sched_names[v], top.suite.avgCommitIpc(),
+                    100.0 * mispred,
+                    top.suite.avgCausePct(CycleCause::ResultBus),
+                    knee_of(p, b, v));
+                if (v == 1 &&
+                    knee_of(p, b, 0) != knee_of(p, b, 1)) {
+                    ++disagreements;
+                }
+            }
+        }
+    }
+
+    std::printf("\nregister-pressure knee vs %s/unlimited buses "
+                "(%d regs):\n",
+                preds[0].c_str(), knee_of(0, 0, 0));
+    const int knee0 = knee_of(0, 0, 0);
+    for (std::size_t p = 0; p < preds.size(); ++p) {
+        for (int b = 0; b < 2; ++b) {
+            const int knee = knee_of(p, b, 0);
+            std::printf("  %-10s %9s: %3d regs (%+d)\n",
+                        preds[p].c_str(),
+                        kBuses[b] == 0 ? "unlimited" : "2 buses",
+                        knee, knee - knee0);
+        }
+    }
+    if (disagreements > 0) {
+        std::printf("\nWARNING: event and scan schedulers disagreed "
+                    "on %d knee(s) — scheduler bug.\n",
+                    disagreements);
+    }
+    std::printf("\nexpected: both schedulers agree on every point; "
+                "predictor choice moves mispredict%%\nand IPC but "
+                "barely moves the knee — register pressure is set by "
+                "in-flight lifetimes,\nnot prediction accuracy — "
+                "while a 2-bus writeback constraint adds result_bus "
+                "stalls\nand lowers the IPC ceiling, pulling the "
+                "2%%-of-max knee one sweep step left.\n");
+}
+
 // ------------------------------------------------------ ext_critical_paths
 
 int
@@ -994,6 +1107,13 @@ makeExperimentDefs()
          "static IPC/MaxLive oracle cross-checked against simulation "
          "in both schedulers",
          extBoundsGrids, nullptr, extBoundsPrint, true, nullptr},
+        {"ext_predictors",
+         "Extension: predictor backends and result-bus contention vs "
+         "register pressure",
+         "predictor/result-bus sweep on the fig6/fig7 register "
+         "apparatus, both schedulers",
+         extPredictorsGrids, nullptr, extPredictorsPrint, true,
+         nullptr},
         {"ext_critical_paths", nullptr,
          "dispatch-queue/rename/register-file cycle-time scaling "
          "check",

@@ -117,6 +117,32 @@ writeBufferDrainAxis(const std::vector<Cycle> &cycles)
 }
 
 Axis
+predictorAxis(const std::vector<std::string> &specs)
+{
+    Axis axis{"predictor", kRankOther, {}};
+    for (const std::string &p : specs) {
+        axis.values.push_back({p, [p](CoreConfig &cfg) {
+                                   cfg.predictor = p;
+                               }});
+    }
+    return axis;
+}
+
+Axis
+resultBusAxis(const std::vector<int> &buses)
+{
+    Axis axis{"result_buses", kRankOther, {}};
+    for (const int b : buses) {
+        axis.values.push_back(
+            {b == 0 ? "bus-unlimited" : "bus" + std::to_string(b),
+             [b](CoreConfig &cfg) {
+                 cfg.resultBuses = b;
+             }});
+    }
+    return axis;
+}
+
+Axis
 variantAxis(const std::string &label, std::vector<AxisValue> values)
 {
     return Axis{label, kRankOther, std::move(values)};

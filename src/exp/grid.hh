@@ -101,6 +101,14 @@ Axis writeBufferAxis(const std::vector<std::uint32_t> &entries);
 /** Write-buffer drain period in cycles.  Fragments "drain4"... */
 Axis writeBufferDrainAxis(const std::vector<Cycle> &cycles);
 
+/** Branch-predictor backend (makeBranchPredictor() specs).
+ *  Fragments are the spec names: "mcfarling", "gshare", ... */
+Axis predictorAxis(const std::vector<std::string> &specs);
+
+/** Result-bus count (0 = the paper's unlimited writeback).
+ *  Fragments "bus1".."bus8", "bus-unlimited". */
+Axis resultBusAxis(const std::vector<int> &buses);
+
 /** Arbitrary named variants (the ablation studies). */
 Axis variantAxis(const std::string &label,
                  std::vector<AxisValue> values);

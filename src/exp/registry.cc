@@ -26,6 +26,11 @@ RunContext::fromEnv()
     const char *sample = std::getenv("DRSIM_SAMPLE");
     if (sample != nullptr && sample[0] != '\0')
         ctx.sampling = parseSamplingSpec(sample);
+    const char *pred = std::getenv("DRSIM_PREDICTOR");
+    if (pred != nullptr && pred[0] != '\0')
+        ctx.predictor = pred;
+    ctx.resultBuses = envInt("DRSIM_RESULT_BUSES", -1, -1,
+                             std::numeric_limits<int>::max());
     return ctx;
 }
 
@@ -132,6 +137,12 @@ expandExperiment(const ExperimentDef &def, const RunContext &ctx)
     for (ExperimentSpec &spec : specs) {
         spec.config.maxCommitted = ctx.maxCommitted;
         spec.config.sampling = ctx.sampling;
+        // Overrides apply only when set so experiments whose grids
+        // sweep these axes (ext_predictors) are not clobbered.
+        if (!ctx.predictor.empty())
+            spec.config.predictor = ctx.predictor;
+        if (ctx.resultBuses >= 0)
+            spec.config.resultBuses = ctx.resultBuses;
         // Screen each point before anything simulates: an infeasible
         // config should reject the sweep at expansion time, not
         // fatal() mid-run.
@@ -333,6 +344,10 @@ configSummary(const CoreConfig &cfg)
              " drain=" +
              std::to_string(cfg.dcache.writeBufferDrainCycles);
     }
+    if (cfg.predictor != "mcfarling")
+        s += " bpred=" + cfg.predictor;
+    if (cfg.resultBuses != 0)
+        s += " buses=" + std::to_string(cfg.resultBuses);
     if (cfg.inOrderBranches)
         s += " in-order-branches";
     if (!cfg.speculativeHistoryUpdate)

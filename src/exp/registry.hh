@@ -56,6 +56,14 @@ struct RunContext
     /** Interval sampling applied to every expanded spec
      *  (DRSIM_SAMPLE / --sample; disabled by default). */
     SamplingConfig sampling;
+    /** Branch-predictor override applied to every expanded spec
+     *  (DRSIM_PREDICTOR / --predictor; empty = keep each grid's own
+     *  setting, normally the "mcfarling" default). */
+    std::string predictor;
+    /** Result-bus override applied to every expanded spec
+     *  (DRSIM_RESULT_BUSES / --result-buses; -1 = keep each grid's
+     *  own setting, normally 0 = unlimited). */
+    int resultBuses = -1;
 
     /** Resolve scale/cap/results directory from the environment. */
     static RunContext fromEnv();

@@ -13,10 +13,11 @@ namespace exp {
 
 namespace {
 
-const char *const kStringAxes[] = {"model", "cache"};
+const char *const kStringAxes[] = {"model", "cache", "predictor"};
 const char *const kNumberAxes[] = {"width", "dq", "regs", "mshrs",
                                    "write_buffer",
-                                   "write_buffer_drain"};
+                                   "write_buffer_drain",
+                                   "result_buses"};
 
 bool
 isStringAxis(const std::string &key)
@@ -188,6 +189,10 @@ toGrid(const SweepSpec &spec)
             grid.axes.push_back(writeBufferAxis(toU32s(decl.nums)));
         } else if (decl.key == "write_buffer_drain") {
             grid.axes.push_back(writeBufferDrainAxis(decl.nums));
+        } else if (decl.key == "predictor") {
+            grid.axes.push_back(predictorAxis(decl.strs));
+        } else if (decl.key == "result_buses") {
+            grid.axes.push_back(resultBusAxis(toInts(decl.nums)));
         } else {
             fatal("sweep spec: unknown axis '", decl.key, "'");
         }
@@ -206,6 +211,10 @@ runSweepSpec(const SweepSpec &spec, const RunContext &ctx,
     std::vector<ExperimentSpec> specs = expandGrid(toGrid(spec));
     for (ExperimentSpec &s : specs) {
         s.config.maxCommitted = ctx.maxCommitted;
+        if (!ctx.predictor.empty())
+            s.config.predictor = ctx.predictor;
+        if (ctx.resultBuses >= 0)
+            s.config.resultBuses = ctx.resultBuses;
         requireFeasibleConfig(s.config, spec.name + "/" + s.name);
     }
     const std::size_t full = specs.size();

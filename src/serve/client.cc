@@ -232,6 +232,12 @@ runRequestPrefix(const exp::RunContext &ctx)
                   ",\"warmff\":" +
                   std::to_string(ctx.sampling.warmff) + "}";
     }
+    if (!ctx.predictor.empty())
+        prefix += ",\"predictor\":\"" + json::escape(ctx.predictor) +
+                  "\"";
+    if (ctx.resultBuses >= 0)
+        prefix += ",\"result_buses\":" +
+                  std::to_string(ctx.resultBuses);
     return prefix;
 }
 
@@ -278,6 +284,12 @@ runSweepSpecViaServer(const exp::SweepSpec &spec,
     for (ExperimentSpec &s : specs) {
         s.config.maxCommitted = ctx.maxCommitted;
         s.config.sampling = ctx.sampling;
+        // Mirror the server's overrides so the reassembled
+        // ExperimentResult configs match what actually ran.
+        if (!ctx.predictor.empty())
+            s.config.predictor = ctx.predictor;
+        if (ctx.resultBuses >= 0)
+            s.config.resultBuses = ctx.resultBuses;
     }
     const std::vector<Workload> suite =
         spec.suite == "classic" ? exp::classicWorkloads()

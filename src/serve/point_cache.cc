@@ -21,8 +21,11 @@ namespace {
 
 /** Bump on any result-affecting simulator change (docs/SERVER.md).
  *  v2: sampled runs moved to the checkpoint-restored window-parallel
- *  driver (DESIGN.md §5j), which changes sampled statistics. */
-constexpr const char *kBuiltinRev = "sim-v2";
+ *  driver (DESIGN.md §5j), which changes sampled statistics.
+ *  v3: pluggable predictor backends + result-bus arbitration grew
+ *  the stall taxonomy to 14 buckets (DESIGN.md §5k); pre-v3 records
+ *  carry 13-entry cause_cycles vectors. */
+constexpr const char *kBuiltinRev = "sim-v3";
 
 } // namespace
 
@@ -70,6 +73,8 @@ pointKeyText(const PointKey &key, const std::string &rev)
        << "num_phys_regs=" << c.numPhysRegs << "\n"
        << "exception_model=" << exceptionModelName(c.exceptionModel)
        << "\n"
+       << "predictor=" << c.predictor << "\n"
+       << "result_buses=" << c.resultBuses << "\n"
        << "cache_kind=" << cacheKindName(c.cacheKind) << "\n";
     cacheLine("dcache", c.dcache);
     cacheLine("icache", c.icache);

@@ -16,6 +16,7 @@
 #include <tuple>
 #include <utility>
 
+#include "bpred/predictor.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "core/config_check.hh"
@@ -425,6 +426,7 @@ Server::handleRun(int fd, std::uint64_t connId,
         if (key != "verb" && key != "id" && key != "experiment" &&
             key != "spec" && key != "scale" &&
             key != "max_committed" && key != "sampling" &&
+            key != "predictor" && key != "result_buses" &&
             key != "document") {
             sendError(fd, id, "bad-request",
                       "unknown request key '" + key + "'");
@@ -475,6 +477,23 @@ Server::handleRun(int fd, std::uint64_t connId,
             return;
         }
         ctx.sampling = sc;
+    }
+    if (const json::Value *v = req.find("predictor")) {
+        if (!v->isString() || !knownPredictor(v->asString())) {
+            sendError(fd, id, "bad-request",
+                      "\"predictor\" must be one of " +
+                          predictorSpecList());
+            return;
+        }
+        ctx.predictor = v->asString();
+    }
+    if (const json::Value *v = req.find("result_buses")) {
+        ctx.resultBuses = int(v->asU64());
+        if (ctx.resultBuses < 0) {
+            sendError(fd, id, "bad-request",
+                      "result_buses must be >= 0 (0 = unlimited)");
+            return;
+        }
     }
     bool document = false;
     if (const json::Value *v = req.find("document"))
@@ -538,6 +557,10 @@ Server::handleRun(int fd, std::uint64_t connId,
             for (ExperimentSpec &s : specs) {
                 s.config.maxCommitted = ctx.maxCommitted;
                 s.config.sampling = ctx.sampling;
+                if (!ctx.predictor.empty())
+                    s.config.predictor = ctx.predictor;
+                if (ctx.resultBuses >= 0)
+                    s.config.resultBuses = ctx.resultBuses;
                 requireFeasibleConfig(s.config,
                                       spec.name + "/" + s.name);
             }

@@ -223,11 +223,23 @@ emitWorkload(JsonOut &j, const SimResult &r, int in)
     j.number(r.proc.cycleCauseCount(CycleCause::IssueWidthBound));
     j.raw(",\n");
     j.key(in + 2, "stall_cycles"); j.raw("{\n");
+    // The result_bus bucket (schema v2, additive) is omitted when no
+    // cycle was attributed to it, keeping unlimited-bus artifacts
+    // byte-identical to the pre-bucket schema.
+    std::vector<int> emitted;
     for (int c = int(CycleCause::WriteBufferFull);
          c < kNumCycleCauses; ++c) {
+        if (CycleCause(c) == CycleCause::ResultBus &&
+            r.proc.causeCycles[c] == 0) {
+            continue;
+        }
+        emitted.push_back(c);
+    }
+    for (std::size_t i = 0; i < emitted.size(); ++i) {
+        const int c = emitted[i];
         j.key(in + 4, cycleCauseName(CycleCause(c)));
         j.number(r.proc.causeCycles[c]);
-        j.raw(c + 1 < kNumCycleCauses ? ",\n" : "\n");
+        j.raw(i + 1 < emitted.size() ? ",\n" : "\n");
     }
     j.pad(in + 2); j.raw("}");
 
@@ -284,6 +296,16 @@ emitExperiment(JsonOut &j, const ExperimentResult &res, int in)
     j.key(in + 4, "cache_kind"); j.string(cacheKindName(cfg.cacheKind));
     j.raw(",\n");
     j.key(in + 4, "max_committed"); j.number(cfg.maxCommitted);
+    // Non-default predictor / result-bus settings only (schema v2,
+    // additive: default-config artifacts stay byte-identical).
+    if (cfg.predictor != "mcfarling") {
+        j.raw(",\n");
+        j.key(in + 4, "predictor"); j.string(cfg.predictor);
+    }
+    if (cfg.resultBuses != 0) {
+        j.raw(",\n");
+        j.key(in + 4, "result_buses"); j.number(cfg.resultBuses);
+    }
     if (cfg.sampling.enabled()) {
         j.raw(",\n");
         j.key(in + 4, "sampling"); j.raw("{\n");

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 #include <string>
 
+#include "bpred/predictor.hh"
 #include "exp/registry.hh"
 #include "serve/result_io.hh"
 #include "sim/ckpt_store.hh"
@@ -123,6 +124,38 @@ TEST(CkptSampling, WindowPolicyAndThreadCountAreByteIdentical)
         const SimResult got = simulate(cfg, w);
         EXPECT_EQ(serve::pointRecordJson(got), want)
             << "windowJobs=" << jobs;
+    }
+}
+
+TEST(CkptSampling, EveryPredictorBackendRoundTripsThroughWindows)
+{
+    // The checkpoint restore path rebuilds predictor warmth by
+    // replaying the architectural branch stream (shiftHistory), so
+    // every backend — whatever its table shape — must come out of a
+    // window-parallel run byte-identical to the serial driver.
+    EnvGuard dir("DRSIM_CKPT_DIR", nullptr);
+    PolicyGuard restore;
+    const Workload w = buildWorkload("espresso", 2);
+
+    for (const std::string &spec : predictorSpecs()) {
+        CoreConfig cfg = sampledConfig();
+        cfg.predictor = spec;
+
+        SamplingExecPolicy serial;
+        serial.useCkptLibrary = false;
+        serial.windowJobs = 1;
+        setSamplingExecPolicy(serial);
+        const SimResult base = simulate(cfg, w);
+        ASSERT_TRUE(base.sampled.enabled) << spec;
+
+        SamplingExecPolicy pooled;
+        pooled.useCkptLibrary = true;
+        pooled.windowJobs = 4;
+        setSamplingExecPolicy(pooled);
+        const SimResult got = simulate(cfg, w);
+        EXPECT_EQ(serve::pointRecordJson(got),
+                  serve::pointRecordJson(base))
+            << spec;
     }
 }
 

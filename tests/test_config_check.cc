@@ -52,6 +52,61 @@ TEST(ConfigCheck, RejectsUnsupportedIssueWidth)
     EXPECT_FALSE(hasRule(findings, "window-lt-issue-width"));
 }
 
+TEST(ConfigCheck, NarrowWidthKeepsPerClassIssueLimitsAlive)
+{
+    // issueWidth = 2 divides down to width/4 = 0 for the fp-divide
+    // and control classes; the derived getters floor at 1, so the
+    // config is both clean and deadlock-free.
+    CoreConfig cfg;
+    cfg.issueWidth = 2;
+    cfg.dqSize = 16;
+    EXPECT_GE(cfg.fpDivIssueLimit(), 1);
+    EXPECT_GE(cfg.ctrlIssueLimit(), 1);
+    EXPECT_GE(cfg.fpIssueLimit(), 1);
+    EXPECT_GE(cfg.memIssueLimit(), 1);
+    EXPECT_GE(cfg.numFpDividers(), 1);
+    const auto findings = checkCoreConfig(cfg);
+    EXPECT_FALSE(hasRule(findings, "issue-width"));
+    EXPECT_FALSE(hasRule(findings, "issue-class-starved"));
+}
+
+TEST(ConfigCheck, RejectsUnknownPredictor)
+{
+    CoreConfig cfg;
+    cfg.predictor = "perceptron";
+    const auto findings = checkCoreConfig(cfg);
+    const ConfigFinding *f = findRule(findings, "unknown-predictor");
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(f->error);
+    // The message teaches the valid spellings.
+    EXPECT_NE(f->message.find("mcfarling"), std::string::npos);
+    EXPECT_NE(f->message.find("tage"), std::string::npos);
+
+    cfg.predictor = "gshare";
+    EXPECT_FALSE(hasRule(checkCoreConfig(cfg), "unknown-predictor"));
+}
+
+TEST(ConfigCheck, ResultBusRules)
+{
+    CoreConfig cfg;
+    cfg.resultBuses = -1;
+    EXPECT_TRUE(
+        hasRule(checkCoreConfig(cfg), "negative-result-buses"));
+
+    // Fewer buses than half the issue width is legal but suspicious.
+    cfg.resultBuses = 1; // issueWidth 4
+    const ConfigFinding *f =
+        findRule(checkCoreConfig(cfg), "result-buses-lt-half-width");
+    ASSERT_NE(f, nullptr);
+    EXPECT_FALSE(f->error);
+
+    cfg.resultBuses = 2;
+    EXPECT_FALSE(hasRule(checkCoreConfig(cfg),
+                         "result-buses-lt-half-width"));
+    cfg.resultBuses = 0; // unlimited: clean
+    EXPECT_TRUE(checkCoreConfig(cfg).empty());
+}
+
 TEST(ConfigCheck, RejectsWindowSmallerThanIssueWidth)
 {
     CoreConfig cfg;

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bpred/predictor.hh"
 #include "core/processor.hh"
 #include "sim/simulator.hh"
 #include "workloads/kernels.hh"
@@ -206,6 +207,55 @@ TEST(EventCoreEquality, EightWideWithImperfectICache)
     cfg.perfectICache = false;
     cfg.icache.sizeBytes = 2 * 1024; // force real I-cache misses
     expectSchedulersAgree(cfg, w, "8-wide/small-icache");
+}
+
+TEST(EventCoreEquality, TwoWideMachine)
+{
+    // The narrowest supported machine: width/4-derived issue limits
+    // floor at 1 (fp-divide, control), so an fp-heavy workload with
+    // branches must still retire instructions — and both schedulers
+    // must agree about every cycle of it.
+    const Workload w = buildWorkload("doduc", 3);
+    CoreConfig cfg;
+    cfg.issueWidth = 2;
+    cfg.dqSize = 16;
+    cfg.numPhysRegs = 64;
+    expectSchedulersAgree(cfg, w, "2-wide");
+}
+
+TEST(EventCoreEquality, EveryPredictorBackend)
+{
+    // The wakeup rework must be invariant to which predictor drives
+    // speculation: each backend changes *what* is fetched down the
+    // wrong path, never how the two schedulers see it.
+    const Workload w = buildWorkload("gcc1", 3);
+    for (const std::string &spec : predictorSpecs()) {
+        CoreConfig cfg = paperCfg();
+        cfg.predictor = spec;
+        expectSchedulersAgree(cfg, w, "bpred/" + spec);
+    }
+}
+
+TEST(EventCoreEquality, ResultBusArbitration)
+{
+    // Writeback-bus arbitration defers completions, which reshapes
+    // the event ring; the scan path must replay the same grants.
+    // 0 = unlimited (the untouched fast path).
+    const Workload w = buildWorkload("espresso", 3);
+    for (const int buses : {1, 2, 0}) {
+        CoreConfig cfg = paperCfg();
+        cfg.resultBuses = buses;
+        expectSchedulersAgree(cfg, w,
+                              "buses=" + std::to_string(buses));
+    }
+
+    // The squeeze: one bus, starved registers, a weaker predictor —
+    // deferred completions, register frees, and squashes interleave.
+    CoreConfig cfg = paperCfg();
+    cfg.resultBuses = 1;
+    cfg.numPhysRegs = 48;
+    cfg.predictor = "bimodal";
+    expectSchedulersAgree(cfg, w, "bus1/starved/bimodal");
 }
 
 TEST(EventCoreEquality, SkipAheadIsPureOptimization)

@@ -74,7 +74,8 @@ TEST(ExpRegistry, EveryLegacyHarnessIsRegistered)
         "fig5",        "fig6",          "fig7",
         "fig8",        "fig10",         "ablations",
         "ext_classic", "ext_mshr",      "ext_writebuffer",
-        "ext_variance", "ext_bounds",   "ext_critical_paths",
+        "ext_variance", "ext_bounds",   "ext_predictors",
+        "ext_critical_paths",
         "simspeed",    "sampling_validate", "micro",
     };
     for (const char *name : expected)

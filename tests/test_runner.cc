@@ -301,7 +301,7 @@ TEST(Runner, InvalidConfigErrorPropagatesFromWorkers)
     const auto suite = buildSpec92Suite(1);
     std::vector<ExperimentSpec> specs;
     CoreConfig bad = smallConfig();
-    bad.issueWidth = 6; // validate() rejects anything but 4 / 8
+    bad.issueWidth = 6; // validate() rejects anything but 2 / 4 / 8
     specs.push_back({"bad", bad});
     EXPECT_THROW(runExperiments(specs, suite, 4), FatalError);
     EXPECT_THROW(runSuite(bad, suite, 4), FatalError);
@@ -410,6 +410,80 @@ TEST(Runner, ResultsJsonRoundTripsThroughStrictParser)
             }
         }
     }
+}
+
+/**
+ * The result_bus stall bucket is additive: a run with unlimited
+ * writeback buses (the default) must emit byte-identical JSON to the
+ * pre-bucket exporter — no "result_bus" key, no "result_buses" config
+ * key, no "predictor" config key — while a bus-constrained run carries
+ * all of them and still satisfies the attribution invariant.
+ */
+TEST(Runner, ResultBusBucketEmittedOnlyWhenConstrained)
+{
+    const auto suite = buildSpec92Suite(1);
+    RunInfo info;
+    info.runId = "bus-check";
+    info.scale = 1;
+
+    // Default config: unlimited buses, mcfarling predictor.  The new
+    // knobs must leave the artifact untouched (the byte-identity
+    // guard behind the fig7/table1 golden hashes).
+    std::vector<ExperimentSpec> plain;
+    plain.push_back({"base", smallConfig()});
+    const std::string base_json =
+        resultsJson(info, runExperiments(plain, suite, 2));
+    EXPECT_EQ(base_json.find("\"result_bus\""), std::string::npos);
+    EXPECT_EQ(base_json.find("\"result_buses\""), std::string::npos);
+    EXPECT_EQ(base_json.find("\"predictor\""), std::string::npos);
+
+    // One writeback bus on a 4-wide machine: contention is certain,
+    // so the bucket must appear, the config must record the knob, and
+    // every workload must still attribute each cycle exactly once.
+    CoreConfig starved = smallConfig();
+    starved.resultBuses = 1;
+    std::vector<ExperimentSpec> specs;
+    specs.push_back({"bus1", starved});
+    const std::string text =
+        resultsJson(info, runExperiments(specs, suite, 2));
+    EXPECT_NE(text.find("\"result_buses\": 1"), std::string::npos);
+
+    const json::Value doc = json::parse(text);
+    const json::Value &exp = doc.at("experiments").at(std::size_t(0));
+    std::uint64_t bus_stalls = 0;
+    for (const auto &wl : exp.at("workloads").items()) {
+        const std::uint64_t cycles = wl.at("cycles").asU64();
+        std::uint64_t attributed =
+            wl.at("busy_cycles").asU64() +
+            wl.at("issue_width_bound_cycles").asU64();
+        for (const auto &[name, v] : wl.at("stall_cycles").members()) {
+            attributed += v.asU64();
+            if (name == "result_bus")
+                bus_stalls += v.asU64();
+        }
+        EXPECT_EQ(attributed, cycles) << wl.at("name").asString();
+    }
+    EXPECT_GT(bus_stalls, 0u);
+}
+
+/** A non-default predictor spec rides along in the config block. */
+TEST(Runner, NonDefaultPredictorRecordedInConfig)
+{
+    const auto suite = buildSpec92Suite(1);
+    CoreConfig cfg = smallConfig();
+    cfg.predictor = "gshare";
+    std::vector<ExperimentSpec> specs;
+    specs.push_back({"gshare", cfg});
+    RunInfo info;
+    info.runId = "pred-check";
+    info.scale = 1;
+
+    const json::Value doc = json::parse(
+        resultsJson(info, runExperiments(specs, suite, 1)));
+    const json::Value &conf =
+        doc.at("experiments").at(std::size_t(0)).at("config");
+    EXPECT_EQ(conf.at("predictor").asString(), "gshare");
+    EXPECT_EQ(conf.find("result_buses"), nullptr); // still default
 }
 
 /**

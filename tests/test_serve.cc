@@ -235,6 +235,14 @@ TEST(PointCache, KeyCoversEveryResultAffectingInput)
     digest.digest = "0000000000000000";
     EXPECT_NE(pointKeyText(digest, "r"), baseText);
 
+    PointKey pred = base;
+    pred.config.predictor = "gshare";
+    EXPECT_NE(pointKeyText(pred, "r"), baseText);
+
+    PointKey buses = base;
+    buses.config.resultBuses = 2;
+    EXPECT_NE(pointKeyText(buses, "r"), baseText);
+
     // Different workload *programs* (not just names) get different
     // digests, so a generator change silently invalidates.
     EXPECT_NE(programDigest(buildWorkload("compress", 1).program),
@@ -249,6 +257,14 @@ TEST(PointCache, KeyCoversEveryResultAffectingInput)
     sched.config.scanScheduler = !sched.config.scanScheduler;
     sched.config.stallSkipAhead = !sched.config.stallSkipAhead;
     EXPECT_EQ(pointKeyText(sched, "r"), baseText);
+
+    // Tripwire: growing CoreConfig without revisiting pointKeyText()
+    // would silently serve stale cache entries for the new knob.  If
+    // this fails, add the field to the key text (or document why it
+    // cannot affect results, like the scheduler knobs above) and then
+    // update the expected size.  x86-64 / libstdc++, matching CI.
+    EXPECT_EQ(sizeof(CoreConfig), 224u)
+        << "CoreConfig changed — audit pointKeyText() key coverage";
 }
 
 TEST(PointCache, KeyCoversSamplingParameters)

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench/micro_benchmarks.hh"
+#include "bpred/predictor.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "exp/registry.hh"
@@ -69,6 +70,15 @@ usage(std::FILE *to)
         "                      measure W in detail (W defaults to\n"
         "                      max(I/20,1), U to W; default\n"
         "                      $DRSIM_SAMPLE; docs/EXPERIMENTS.md)\n"
+        "  --predictor NAME    branch-predictor backend applied to\n"
+        "                      every expanded spec: mcfarling,\n"
+        "                      bimodal, gshare, or tage (default\n"
+        "                      $DRSIM_PREDICTOR, else each grid's\n"
+        "                      own setting; DESIGN.md section 5k)\n"
+        "  --result-buses N    result (writeback) buses per cycle,\n"
+        "                      0 = unlimited (default\n"
+        "                      $DRSIM_RESULT_BUSES, else each grid's\n"
+        "                      own setting)\n"
         "  --server HOST:PORT  run via a drsim_serve daemon instead\n"
         "                      of simulating locally (docs/SERVER.md)\n"
         "  --server-stats HOST:PORT\n"
@@ -241,6 +251,25 @@ main(int argc, char **argv)
                     parseSamplingSpec(value_of(i, "--sample"));
             } catch (const FatalError &e) {
                 std::fprintf(stderr, "drsim_bench: %s\n", e.what());
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--predictor") == 0) {
+            ctx.predictor = value_of(i, "--predictor");
+            if (!knownPredictor(ctx.predictor)) {
+                std::fprintf(stderr,
+                             "drsim_bench: unknown --predictor '%s' "
+                             "(known: %s)\n",
+                             ctx.predictor.c_str(),
+                             predictorSpecList().c_str());
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--result-buses") == 0) {
+            ctx.resultBuses =
+                std::atoi(value_of(i, "--result-buses"));
+            if (ctx.resultBuses < 0) {
+                std::fprintf(stderr,
+                             "drsim_bench: --result-buses must be "
+                             ">= 0 (0 = unlimited)\n");
                 return 2;
             }
         } else if (std::strcmp(arg, "--server") == 0) {

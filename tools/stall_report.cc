@@ -15,6 +15,12 @@
  *
  * for every workload and exits nonzero on a parse error, a schema
  * mismatch, or an invariant violation.
+ *
+ * The stall taxonomy is additive within schema v2: this tool never
+ * hardcodes the bucket list.  It renders whatever cause names the
+ * artifact carries (so a file from a newer simulator with buckets
+ * this build has never heard of — e.g. result_bus — still checks and
+ * prints), and the invariant sums exactly the buckets present.
  */
 
 #include <cstdio>
